@@ -1,0 +1,90 @@
+//! Experiment E5: the trust-cost comparison the paper's introduction
+//! draws — translation validation pays a checking cost on **every**
+//! compile (growing with program size), while the Cobalt proof is a
+//! **one-time** cost independent of the programs later compiled.
+//!
+//! The crossover these benchmarks expose: after a handful of compiles
+//! of moderate programs, the amortized once-and-for-all proof is
+//! cheaper — and it covers *all* programs, not just the validated runs.
+
+use cobalt_bench::{bench_program, SIZES};
+use cobalt_dsl::LabelEnv;
+use cobalt_engine::Engine;
+use cobalt_tv::validate_proc;
+use cobalt_verify::{SemanticMeanings, Verifier};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// The one-time cost: prove constant propagation sound, once and for
+/// all programs.
+fn bench_once_and_for_all(c: &mut Criterion) {
+    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
+    let const_prop = cobalt_opts::const_prop();
+    c.bench_function("trust/prove_once", |b| {
+        b.iter(|| {
+            let report = verifier.verify_optimization(&const_prop).unwrap();
+            assert!(report.all_proved());
+        })
+    });
+}
+
+/// The per-compile cost: optimize a program and validate the output,
+/// for each program size.
+fn bench_validate_every_compile(c: &mut Criterion) {
+    let engine = Engine::new(LabelEnv::standard());
+    let const_prop = cobalt_opts::const_prop();
+    let mut group = c.benchmark_group("trust/validate_per_compile");
+    for &n in SIZES {
+        let prog = bench_program(n, 21);
+        let (optimized, _) = engine
+            .optimize_program(&prog, &[], std::slice::from_ref(&const_prop), 1)
+            .unwrap();
+        let orig = prog.main().unwrap().clone();
+        let new = optimized.main().unwrap().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(orig, new), |b, (o, t)| {
+            b.iter(|| {
+                let report = validate_proc(o, t).unwrap();
+                assert!(report.validated());
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The compile-time overhead comparison at a fixed size: optimization
+/// alone vs optimization + validation.
+fn bench_compile_overhead(c: &mut Criterion) {
+    let engine = Engine::new(LabelEnv::standard());
+    let opts = [cobalt_opts::const_prop(), cobalt_opts::dae()];
+    let prog = bench_program(160, 23);
+    let mut group = c.benchmark_group("trust/compile_overhead");
+    group.bench_function("optimize_only", |b| {
+        b.iter(|| engine.optimize_program(&prog, &[], &opts, 1).unwrap().1)
+    });
+    group.bench_function("optimize_and_validate", |b| {
+        b.iter(|| {
+            let (out, n) = engine.optimize_program(&prog, &[], &opts, 1).unwrap();
+            // Validating a multi-pass compile honestly requires
+            // per-pass validation; approximate with per-opt reruns.
+            let mut cur = prog.clone();
+            for opt in &opts {
+                let (next, _) = engine
+                    .optimize_program(&cur, &[], std::slice::from_ref(opt), 1)
+                    .unwrap();
+                let r = validate_proc(cur.main().unwrap(), next.main().unwrap()).unwrap();
+                assert!(r.validated(), "{:?}", r.rejections());
+                cur = next;
+            }
+            let _ = out;
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_once_and_for_all,
+    bench_validate_every_compile,
+    bench_compile_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! # cobalt-bench
+//!
+//! The benchmark harness reproducing the evaluation of the Cobalt paper
+//! (see `EXPERIMENTS.md` at the workspace root):
+//!
+//! * `benches/proof_times` — **E1**, the §5.1 proof-time table;
+//! * `benches/engine_scaling` — **E6**, execution-engine cost vs
+//!   program size;
+//! * `benches/tv_vs_proof` — **E5**, one-time proof vs per-compile
+//!   translation validation;
+//! * `benches/prover_ablation` — ablations of the theorem prover's
+//!   design choices.
+//!
+//! Shared workload builders live in this library crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cobalt_il::{generate, GenConfig, Program};
+
+/// Deterministic benchmark programs of a given size.
+pub fn bench_program(stmts: usize, seed: u64) -> Program {
+    generate(&GenConfig::sized(stmts, seed))
+}
+
+/// The standard size ladder used by the scaling benchmarks.
+pub const SIZES: &[usize] = &[10, 40, 160, 640];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_programs_validate() {
+        for &n in SIZES {
+            cobalt_il::validate(&bench_program(n, 1)).unwrap();
+        }
+    }
+}

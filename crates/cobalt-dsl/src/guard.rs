@@ -1,0 +1,682 @@
+//! The guard language `ψ` (paper §3.2.2): propositional logic over
+//! labels, term equality, and `case` pattern matching on the current
+//! statement.
+//!
+//! Guards are used in two modes:
+//!
+//! * [`Guard::eval`] — decide `ι ⊨θ ψ` for a *given* substitution;
+//! * [`Guard::solve`] — find *all* substitutions (over the finite
+//!   domains of the procedure's variables, constants, and expressions)
+//!   that make the guard hold at a node. This is what the execution
+//!   engine uses to seed dataflow facts at enabling statements.
+
+use crate::error::GuardError;
+use crate::label::{FragKind, LabelArgPat, LabelEnv, LabelName, LabelSet};
+use crate::pattern::{ConstPat, ExprPat, StmtPat, VarPat};
+use crate::subst::{Binding, PatVar, Subst};
+use cobalt_il::{Expr, Proc, Stmt, Var};
+
+/// Maximum depth of nested label definitions, guarding against cyclic
+/// definitions.
+const MAX_LABEL_DEPTH: usize = 32;
+
+/// A guard formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Guard {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Negation.
+    Not(Box<Guard>),
+    /// Conjunction.
+    And(Vec<Guard>),
+    /// Disjunction.
+    Or(Vec<Guard>),
+    /// The built-in `stmt(S)` label: the node's statement matches `S`.
+    Stmt(StmtPat),
+    /// A named label applied to arguments.
+    Label(LabelName, Vec<LabelArgPat>),
+    /// Built-in primitive: the statement syntactically defines the
+    /// variable (declaration of, or assignment to, it — paper §2.1.3).
+    SyntacticDef(VarPat),
+    /// Built-in primitive: the statement reads the variable's contents.
+    SyntacticUse(VarPat),
+    /// Built-in semantic primitive: executing the statement does not
+    /// change the value of the expression (used by CSE/PRE as the
+    /// `unchanged(E)` label of paper §2.3).
+    Unchanged(ExprPat),
+    /// Equality of two constant positions (e.g. the `¬(C = 0)` side
+    /// condition of branch folding).
+    ConstEq(ConstPat, ConstPat),
+    /// Equality of two variable positions.
+    VarEq(VarPat, VarPat),
+    /// `case currStmt of pat ↦ ψ … else ↦ ψ endcase`: the first arm
+    /// whose pattern matches the statement is taken; arm patterns may
+    /// bind arm-local pattern variables.
+    CaseStmt {
+        /// The arms, tried in order.
+        arms: Vec<(StmtPat, Guard)>,
+        /// Taken when no arm matches.
+        default: Box<Guard>,
+    },
+}
+
+impl Guard {
+    /// `¬g`.
+    pub fn negate(self) -> Guard {
+        match self {
+            Guard::True => Guard::False,
+            Guard::False => Guard::True,
+            Guard::Not(g) => *g,
+            g => Guard::Not(Box::new(g)),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(parts: impl IntoIterator<Item = Guard>) -> Guard {
+        let v: Vec<Guard> = parts.into_iter().collect();
+        match v.len() {
+            0 => Guard::True,
+            1 => v.into_iter().next().expect("len checked"),
+            _ => Guard::And(v),
+        }
+    }
+
+    /// Disjunction helper.
+    pub fn or(parts: impl IntoIterator<Item = Guard>) -> Guard {
+        let v: Vec<Guard> = parts.into_iter().collect();
+        match v.len() {
+            0 => Guard::False,
+            1 => v.into_iter().next().expect("len checked"),
+            _ => Guard::Or(v),
+        }
+    }
+
+    /// A `¬l(args)` shorthand.
+    pub fn not_label(name: impl Into<LabelName>, args: Vec<LabelArgPat>) -> Guard {
+        Guard::Label(name.into(), args).negate()
+    }
+}
+
+/// The finite instantiation domain of a procedure: the fragments pattern
+/// variables may range over (paper §2.1.1: "pattern variables may be
+/// instantiated with any variables / constants of the procedure").
+#[derive(Debug, Clone, Default)]
+pub struct Domain {
+    /// The procedure's variables (including the parameter).
+    pub vars: Vec<Var>,
+    /// The constants appearing in the procedure.
+    pub consts: Vec<i64>,
+    /// The right-hand-side expressions appearing in the procedure.
+    pub exprs: Vec<Expr>,
+}
+
+impl Domain {
+    /// Builds the domain of a procedure.
+    pub fn of_proc(proc: &Proc) -> Self {
+        let vars = proc.variables();
+        let consts = proc.constants();
+        let mut exprs = Vec::new();
+        for s in &proc.stmts {
+            if let Stmt::Assign(_, e) = s {
+                if !exprs.contains(e) {
+                    exprs.push(e.clone());
+                }
+            }
+        }
+        Domain { vars, consts, exprs }
+    }
+}
+
+/// Everything needed to evaluate a guard at one CFG node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCtx<'a> {
+    /// The statement at the node (`currStmt`).
+    pub stmt: &'a Stmt,
+    /// The node's semantic label set `L_p(ι)`.
+    pub labels: &'a LabelSet,
+    /// Label definitions in scope.
+    pub env: &'a LabelEnv,
+    /// The instantiation domain of the enclosing procedure.
+    pub domain: &'a Domain,
+}
+
+impl Guard {
+    /// Decides `ι ⊨θ ψ` for a fully binding substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GuardError`] if a pattern variable needed by a label
+    /// argument or equality is unbound, or label definitions recurse
+    /// too deeply.
+    pub fn eval(&self, ctx: &NodeCtx<'_>, theta: &Subst) -> Result<bool, GuardError> {
+        self.eval_depth(ctx, theta, 0)
+    }
+
+    fn eval_depth(&self, ctx: &NodeCtx<'_>, theta: &Subst, depth: usize) -> Result<bool, GuardError> {
+        if depth > MAX_LABEL_DEPTH {
+            return Err(GuardError::new(
+                "label definitions recurse too deeply (cyclic definition?)",
+            ));
+        }
+        match self {
+            Guard::True => Ok(true),
+            Guard::False => Ok(false),
+            Guard::Not(g) => Ok(!g.eval_depth(ctx, theta, depth)?),
+            Guard::And(gs) => {
+                for g in gs {
+                    if !g.eval_depth(ctx, theta, depth)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Guard::Or(gs) => {
+                for g in gs {
+                    if g.eval_depth(ctx, theta, depth)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Guard::Stmt(pat) => Ok(pat.try_match(ctx.stmt, theta).is_some()),
+            Guard::Label(name, args) => self.eval_label(ctx, theta, name, args, depth),
+            Guard::SyntacticDef(vp) => {
+                let v = vp.instantiate(theta)?;
+                Ok(ctx.stmt.syntactic_def() == Some(&v))
+            }
+            Guard::SyntacticUse(vp) => {
+                let v = vp.instantiate(theta)?;
+                Ok(ctx.stmt.read_vars().contains(&&v))
+            }
+            Guard::Unchanged(ep) => {
+                let e = ep.instantiate(theta)?;
+                eval_unchanged(ctx, &e, depth)
+            }
+            Guard::ConstEq(a, b) => Ok(a.instantiate(theta)? == b.instantiate(theta)?),
+            Guard::VarEq(a, b) => Ok(a.instantiate(theta)? == b.instantiate(theta)?),
+            Guard::CaseStmt { arms, default } => {
+                for (pat, g) in arms {
+                    if let Some(extended) = pat.try_match(ctx.stmt, theta) {
+                        return g.eval_depth(ctx, &extended, depth);
+                    }
+                }
+                default.eval_depth(ctx, theta, depth)
+            }
+        }
+    }
+
+    fn eval_label(
+        &self,
+        ctx: &NodeCtx<'_>,
+        theta: &Subst,
+        name: &LabelName,
+        args: &[LabelArgPat],
+        depth: usize,
+    ) -> Result<bool, GuardError> {
+        let concrete = args
+            .iter()
+            .map(|a| a.instantiate(theta))
+            .collect::<Result<Vec<_>, _>>()?;
+        match ctx.env.lookup(name) {
+            Some(def) => {
+                if def.params.len() != concrete.len() {
+                    return Err(GuardError::new(format!(
+                        "label `{name}` expects {} arguments, got {}",
+                        def.params.len(),
+                        concrete.len()
+                    )));
+                }
+                let mut inner = Subst::new();
+                for (p, a) in def.params.iter().zip(concrete) {
+                    inner.bind(p.clone(), Binding::from(a));
+                }
+                def.body.eval_depth(ctx, &inner, depth + 1)
+            }
+            None => {
+                // Semantic label: membership in the node's label set.
+                let inst = crate::label::LabelInst {
+                    name: name.clone(),
+                    args: concrete,
+                };
+                Ok(ctx.labels.contains(&inst))
+            }
+        }
+    }
+
+    /// Finds all substitutions extending `theta` (over the procedure's
+    /// finite fragment domains) under which the guard holds at the node.
+    ///
+    /// Statement guards contribute bindings by matching; remaining
+    /// unbound pattern variables are enumerated over the
+    /// [`Domain`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-evaluation errors.
+    pub fn solve(&self, ctx: &NodeCtx<'_>, theta: &Subst) -> Result<Vec<Subst>, GuardError> {
+        match self {
+            Guard::True => Ok(vec![theta.clone()]),
+            Guard::False => Ok(vec![]),
+            Guard::And(gs) => {
+                let mut acc = vec![theta.clone()];
+                for g in gs {
+                    let mut next = Vec::new();
+                    for t in &acc {
+                        next.extend(g.solve(ctx, t)?);
+                    }
+                    acc = next;
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                Ok(dedup(acc))
+            }
+            Guard::Or(gs) => {
+                let mut acc = Vec::new();
+                for g in gs {
+                    acc.extend(g.solve(ctx, theta)?);
+                }
+                Ok(dedup(acc))
+            }
+            Guard::Stmt(pat) => Ok(pat.try_match(ctx.stmt, theta).into_iter().collect()),
+            other => {
+                // Enumerate the unbound pattern variables over the
+                // procedure's fragment domains, then filter by `eval`.
+                let mut needed = Vec::new();
+                other.pattern_vars(&mut needed);
+                needed.retain(|(p, _)| !theta.contains(p));
+                needed.dedup_by(|a, b| a.0 == b.0);
+                let mut candidates = vec![theta.clone()];
+                for (p, kind) in &needed {
+                    let mut next = Vec::new();
+                    for t in &candidates {
+                        let bindings: Vec<Binding> = match kind {
+                            FragKind::Var => {
+                                ctx.domain.vars.iter().cloned().map(Binding::Var).collect()
+                            }
+                            FragKind::Const => {
+                                ctx.domain.consts.iter().copied().map(Binding::Const).collect()
+                            }
+                            FragKind::Expr => {
+                                ctx.domain.exprs.iter().cloned().map(Binding::Expr).collect()
+                            }
+                            FragKind::Index | FragKind::Proc => {
+                                return Err(GuardError::new(
+                                    "cannot enumerate index/procedure pattern variables in a guard",
+                                ))
+                            }
+                        };
+                        for b in bindings {
+                            let mut t2 = t.clone();
+                            t2.bind(p.clone(), b);
+                            next.push(t2);
+                        }
+                    }
+                    candidates = next;
+                }
+                let mut out = Vec::new();
+                for t in candidates {
+                    if self.eval(ctx, &t)? {
+                        out.push(t);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Collects the pattern variables of the guard that require bindings
+    /// for evaluation (label arguments and equality operands; statement
+    /// patterns bind by matching and are not included).
+    pub fn pattern_vars(&self, out: &mut Vec<(PatVar, FragKind)>) {
+        match self {
+            Guard::True | Guard::False | Guard::Stmt(_) => {}
+            Guard::Not(g) => g.pattern_vars(out),
+            Guard::And(gs) | Guard::Or(gs) => {
+                for g in gs {
+                    g.pattern_vars(out);
+                }
+            }
+            Guard::Label(_, args) => {
+                for a in args {
+                    a.pattern_vars(out);
+                }
+            }
+            Guard::SyntacticDef(VarPat::Pat(p)) | Guard::SyntacticUse(VarPat::Pat(p)) => {
+                out.push((p.clone(), FragKind::Var));
+            }
+            Guard::SyntacticDef(_) | Guard::SyntacticUse(_) => {}
+            Guard::Unchanged(ExprPat::Pat(p)) => out.push((p.clone(), FragKind::Expr)),
+            Guard::Unchanged(_) => {}
+            Guard::ConstEq(a, b) => {
+                for c in [a, b] {
+                    if let ConstPat::Pat(p) = c {
+                        out.push((p.clone(), FragKind::Const));
+                    }
+                }
+            }
+            Guard::VarEq(a, b) => {
+                for v in [a, b] {
+                    if let VarPat::Pat(p) = v {
+                        out.push((p.clone(), FragKind::Var));
+                    }
+                }
+            }
+            Guard::CaseStmt { arms, default } => {
+                // Arm-pattern variables are arm-local; only the guards'
+                // free variables matter. This over-approximates by
+                // including arm-locals; enumeration remains sound since
+                // matching rebinds them consistently.
+                for (_, g) in arms {
+                    g.pattern_vars(out);
+                }
+                default.pattern_vars(out);
+            }
+        }
+    }
+}
+
+fn dedup(mut v: Vec<Subst>) -> Vec<Subst> {
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// The conservative evaluator for the `unchanged(E)` semantic primitive:
+/// true only if executing the statement provably leaves `evalExpr(η, E)`
+/// unchanged.
+fn eval_unchanged(ctx: &NodeCtx<'_>, e: &Expr, depth: usize) -> Result<bool, GuardError> {
+    // Any variable the expression reads must not be (may-)defined.
+    let may_def = |v: &Var| -> Result<bool, GuardError> {
+        Guard::Label(
+            "mayDef".into(),
+            vec![LabelArgPat::Var(VarPat::Concrete(v.clone()))],
+        )
+        .eval_depth(ctx, &Subst::new(), depth + 1)
+    };
+    for v in e.read_vars() {
+        if may_def(v)? {
+            return Ok(false);
+        }
+    }
+    if e.has_deref() {
+        // The dereferenced target may be changed by pointer stores and
+        // calls, and — the subtle case of paper §6 — by a direct
+        // assignment to a variable whose address has been taken.
+        match ctx.stmt {
+            Stmt::Assign(cobalt_il::Lhs::Deref(_), _) | Stmt::Call { .. } => return Ok(false),
+            Stmt::Assign(cobalt_il::Lhs::Var(y), _) | Stmt::New(y) => {
+                let not_tainted = Guard::Label(
+                    "notTainted".into(),
+                    vec![LabelArgPat::Var(VarPat::Concrete(y.clone()))],
+                )
+                .eval_depth(ctx, &Subst::new(), depth + 1)?;
+                if !not_tainted {
+                    return Ok(false);
+                }
+            }
+            Stmt::Decl(_) | Stmt::Skip | Stmt::If { .. } | Stmt::Return(_) => {}
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{LabelArg, LabelInst};
+    use crate::pattern::BasePat;
+    use cobalt_il::parse_stmt;
+
+    fn ctx_parts(stmt_src: &str) -> (Stmt, LabelSet, LabelEnv, Domain) {
+        let stmt = parse_stmt(stmt_src).unwrap();
+        let labels = LabelSet::new();
+        let env = LabelEnv::standard();
+        let domain = Domain {
+            vars: vec![Var::new("a"), Var::new("b"), Var::new("x"), Var::new("y")],
+            consts: vec![0, 2, 5],
+            exprs: vec![],
+        };
+        (stmt, labels, env, domain)
+    }
+
+    fn eval_on(guard: &Guard, stmt_src: &str, theta: &Subst) -> bool {
+        let (stmt, labels, env, domain) = ctx_parts(stmt_src);
+        let ctx = NodeCtx {
+            stmt: &stmt,
+            labels: &labels,
+            env: &env,
+            domain: &domain,
+        };
+        guard.eval(&ctx, theta).unwrap()
+    }
+
+    #[test]
+    fn stmt_guard_matches() {
+        let g = Guard::Stmt(StmtPat::Assign(
+            lhs_var("Y"),
+            ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+        ));
+        assert!(eval_on(&g, "a := 2", &Subst::new()));
+        assert!(!eval_on(&g, "a := b", &Subst::new()));
+    }
+
+    fn lhs_var(p: &str) -> crate::pattern::LhsPat {
+        crate::pattern::LhsPat::Var(VarPat::pat(p))
+    }
+
+    #[test]
+    fn may_def_conservative_on_pointer_store_and_call() {
+        let y = || {
+            vec![LabelArgPat::Var(VarPat::Concrete(Var::new("y")))]
+        };
+        let g = Guard::Label("mayDef".into(), y());
+        // Pointer store may define anything (no taint info present).
+        assert!(eval_on(&g, "*p := 1", &Subst::new()));
+        // Calls may define anything.
+        assert!(eval_on(&g, "z := f(1)", &Subst::new()));
+        // Plain assignment to another variable does not define y.
+        assert!(!eval_on(&g, "x := 1", &Subst::new()));
+        // Assignment to y does.
+        assert!(eval_on(&g, "y := 1", &Subst::new()));
+        // decl y defines y.
+        assert!(eval_on(&g, "decl y", &Subst::new()));
+    }
+
+    #[test]
+    fn may_def_uses_taint_information_when_present() {
+        let (stmt, mut labels, env, domain) = ctx_parts("*p := 1");
+        labels.insert(LabelInst::new(
+            "notTainted",
+            vec![LabelArg::Var(Var::new("y"))],
+        ));
+        let ctx = NodeCtx {
+            stmt: &stmt,
+            labels: &labels,
+            env: &env,
+            domain: &domain,
+        };
+        let g = Guard::Label(
+            "mayDef".into(),
+            vec![LabelArgPat::Var(VarPat::Concrete(Var::new("y")))],
+        );
+        // With notTainted(y), a pointer store cannot define y.
+        assert!(!g.eval(&ctx, &Subst::new()).unwrap());
+    }
+
+    #[test]
+    fn may_use_cases() {
+        let g = Guard::Label(
+            "mayUse".into(),
+            vec![LabelArgPat::Var(VarPat::Concrete(Var::new("y")))],
+        );
+        assert!(eval_on(&g, "x := y + 1", &Subst::new()));
+        assert!(eval_on(&g, "return y", &Subst::new()));
+        assert!(!eval_on(&g, "x := 2", &Subst::new()));
+        // Reading through a pointer may read y (conservatively).
+        assert!(eval_on(&g, "x := *p", &Subst::new()));
+        // Calls may read y through reachable pointers.
+        assert!(eval_on(&g, "x := f(1)", &Subst::new()));
+        // A pointer store reads only its operands.
+        assert!(!eval_on(&g, "*p := 3", &Subst::new()));
+        assert!(eval_on(&g, "*y := 3", &Subst::new()));
+        assert!(eval_on(&g, "*p := y", &Subst::new()));
+    }
+
+    #[test]
+    fn case_stmt_arm_binding() {
+        // case currStmt of X := P(Z) ↦ X = Y else ↦ false
+        let g = Guard::CaseStmt {
+            arms: vec![(
+                StmtPat::Call {
+                    dst: VarPat::pat("X"),
+                    proc: crate::pattern::ProcPat::Pat("P".into()),
+                    arg: BasePat::Var(VarPat::pat("Z")),
+                },
+                Guard::VarEq(VarPat::pat("X"), VarPat::pat("Y")),
+            )],
+            default: Box::new(Guard::False),
+        };
+        let mut theta = Subst::new();
+        theta.bind("Y".into(), Binding::Var(Var::new("x")));
+        assert!(eval_on(&g, "x := f(y)", &theta));
+        assert!(!eval_on(&g, "z := f(y)", &theta));
+        assert!(!eval_on(&g, "skip", &theta));
+    }
+
+    #[test]
+    fn solve_binds_from_stmt_pattern() {
+        let g = Guard::Stmt(StmtPat::Assign(
+            lhs_var("Y"),
+            ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+        ));
+        let (stmt, labels, env, domain) = ctx_parts("a := 2");
+        let ctx = NodeCtx {
+            stmt: &stmt,
+            labels: &labels,
+            env: &env,
+            domain: &domain,
+        };
+        let sols = g.solve(&ctx, &Subst::new()).unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].to_string(), "[C ↦ 2, Y ↦ a]");
+    }
+
+    #[test]
+    fn solve_enumerates_unbound_label_arguments() {
+        // ¬mayUse(X) at `return y`: every domain variable except y.
+        let g = Guard::not_label(
+            "mayUse",
+            vec![LabelArgPat::Var(VarPat::pat("X"))],
+        );
+        let (stmt, labels, env, domain) = ctx_parts("return y");
+        let ctx = NodeCtx {
+            stmt: &stmt,
+            labels: &labels,
+            env: &env,
+            domain: &domain,
+        };
+        let sols = g.solve(&ctx, &Subst::new()).unwrap();
+        let bound: Vec<String> = sols
+            .iter()
+            .map(|s| s.get(&"X".into()).unwrap().to_string())
+            .collect();
+        assert_eq!(bound, ["a", "b", "x"]);
+    }
+
+    #[test]
+    fn solve_conjunction_threads_bindings() {
+        // stmt(Y := C) ∧ ¬(C = 0)
+        let g = Guard::and([
+            Guard::Stmt(StmtPat::Assign(
+                lhs_var("Y"),
+                ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+            )),
+            Guard::ConstEq(ConstPat::pat("C"), ConstPat::Concrete(0)).negate(),
+        ]);
+        let (stmt, labels, env, domain) = ctx_parts("a := 2");
+        let ctx = NodeCtx {
+            stmt: &stmt,
+            labels: &labels,
+            env: &env,
+            domain: &domain,
+        };
+        assert_eq!(g.solve(&ctx, &Subst::new()).unwrap().len(), 1);
+        let (stmt0, labels, env, domain) = ctx_parts("a := 0");
+        let ctx0 = NodeCtx {
+            stmt: &stmt0,
+            labels: &labels,
+            env: &env,
+            domain: &domain,
+        };
+        assert!(g.solve(&ctx0, &Subst::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unchanged_primitive() {
+        let e = |src: &str| crate::pattern::ExprPat::Pat("E".into()).instantiate(&{
+            let mut t = Subst::new();
+            t.bind("E".into(), Binding::Expr(cobalt_il::parse_expr(src).unwrap()));
+            t
+        });
+        let _ = e; // exercised below via Guard::Unchanged
+        let mk = |src: &str| {
+            let mut t = Subst::new();
+            t.bind(
+                "E".into(),
+                Binding::Expr(cobalt_il::parse_expr(src).unwrap()),
+            );
+            (Guard::Unchanged(ExprPat::Pat("E".into())), t)
+        };
+        // a + b unchanged by x := 1 but not by a := 1.
+        let (g, t) = mk("a + b");
+        assert!(eval_on(&g, "x := 1", &t));
+        assert!(!eval_on(&g, "a := 1", &t));
+        // Pointer stores and calls clobber everything conservatively.
+        assert!(!eval_on(&g, "*p := 1", &t));
+        assert!(!eval_on(&g, "x := f(1)", &t));
+        // Loads are invalidated by direct assignment to a (possibly
+        // pointed-to) variable — the paper §6 corner case.
+        let (g2, t2) = mk("*p");
+        assert!(!eval_on(&g2, "y := 1", &t2)); // y may be pointed to
+        assert!(eval_on(&g2, "skip", &t2));
+    }
+
+    #[test]
+    fn cyclic_label_definition_errors() {
+        let mut env = LabelEnv::new();
+        env.define(crate::label::LabelDef {
+            name: "loopy".into(),
+            params: vec!["X".into()],
+            body: Guard::Label("loopy".into(), vec![LabelArgPat::Var(VarPat::pat("X"))]),
+        });
+        let stmt = parse_stmt("skip").unwrap();
+        let labels = LabelSet::new();
+        let domain = Domain::default();
+        let ctx = NodeCtx {
+            stmt: &stmt,
+            labels: &labels,
+            env: &env,
+            domain: &domain,
+        };
+        let g = Guard::Label(
+            "loopy".into(),
+            vec![LabelArgPat::Var(VarPat::Concrete(Var::new("a")))],
+        );
+        assert!(g.eval(&ctx, &Subst::new()).is_err());
+    }
+
+    #[test]
+    fn domain_of_proc() {
+        let prog = cobalt_il::parse_program(
+            "proc main(x) { decl y; y := 5; y := x + 2; return y; }",
+        )
+        .unwrap();
+        let d = Domain::of_proc(prog.main().unwrap());
+        assert_eq!(d.vars.len(), 2);
+        assert_eq!(d.consts, vec![5, 2]);
+        assert_eq!(d.exprs.len(), 2);
+    }
+}

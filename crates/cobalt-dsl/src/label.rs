@@ -1,0 +1,293 @@
+//! Labels: named properties of CFG nodes (paper §2.1.3).
+//!
+//! A label is either *defined* — given by a predicate over the current
+//! statement, registered in a [`LabelEnv`] — or *semantic* — attached to
+//! nodes by a pure analysis (paper §2.4) and looked up in the node's
+//! label set. A label name with no definition is treated as semantic;
+//! if it is absent from a node's label set it evaluates to false, which
+//! is the conservative direction for the way labels are used in guards
+//! (e.g. `¬notTainted(Y)` then holds).
+
+use crate::pattern::{ConstPat, ExprPat, VarPat};
+use crate::subst::{Binding, PatVar, Subst};
+use crate::error::InstError;
+use crate::guard::Guard;
+use cobalt_il::{Expr, Var};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// The name of a label, e.g. `mayDef` or `notTainted`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelName(String);
+
+impl LabelName {
+    /// Creates a label name.
+    pub fn new(name: impl Into<String>) -> Self {
+        LabelName(name.into())
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for LabelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for LabelName {
+    fn from(s: &str) -> Self {
+        LabelName::new(s)
+    }
+}
+
+/// A concrete label argument (no pattern variables).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LabelArg {
+    /// A program variable.
+    Var(Var),
+    /// A constant.
+    Const(i64),
+    /// An expression.
+    Expr(Expr),
+}
+
+impl fmt::Display for LabelArg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelArg::Var(v) => write!(f, "{v}"),
+            LabelArg::Const(c) => write!(f, "{c}"),
+            LabelArg::Expr(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<LabelArg> for Binding {
+    fn from(a: LabelArg) -> Binding {
+        match a {
+            LabelArg::Var(v) => Binding::Var(v),
+            LabelArg::Const(c) => Binding::Const(c),
+            LabelArg::Expr(e) => Binding::Expr(e),
+        }
+    }
+}
+
+/// A concrete label instance, e.g. `notTainted(y)`, as stored in a
+/// node's label set `L_p(ι)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LabelInst {
+    /// The label name.
+    pub name: LabelName,
+    /// The concrete arguments.
+    pub args: Vec<LabelArg>,
+}
+
+impl LabelInst {
+    /// Creates a label instance.
+    pub fn new(name: impl Into<LabelName>, args: Vec<LabelArg>) -> Self {
+        LabelInst {
+            name: name.into(),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for LabelInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A label argument position in a guard: may contain pattern variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LabelArgPat {
+    /// A variable position.
+    Var(VarPat),
+    /// A constant position.
+    Const(ConstPat),
+    /// An expression position.
+    Expr(ExprPat),
+}
+
+impl LabelArgPat {
+    /// Instantiates into a concrete argument under `theta`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unbound or kind-mismatched pattern variables.
+    pub fn instantiate(&self, theta: &Subst) -> Result<LabelArg, InstError> {
+        match self {
+            LabelArgPat::Var(v) => Ok(LabelArg::Var(v.instantiate(theta)?)),
+            LabelArgPat::Const(c) => Ok(LabelArg::Const(c.instantiate(theta)?)),
+            LabelArgPat::Expr(e) => Ok(LabelArg::Expr(e.instantiate(theta)?)),
+        }
+    }
+
+    /// The pattern variables occurring in this argument, with the kind
+    /// of fragment each ranges over.
+    pub fn pattern_vars(&self, out: &mut Vec<(PatVar, FragKind)>) {
+        match self {
+            LabelArgPat::Var(VarPat::Pat(p)) => out.push((p.clone(), FragKind::Var)),
+            LabelArgPat::Const(ConstPat::Pat(p)) => out.push((p.clone(), FragKind::Const)),
+            LabelArgPat::Expr(ExprPat::Pat(p)) => out.push((p.clone(), FragKind::Expr)),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for LabelArgPat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelArgPat::Var(v) => write!(f, "{v}"),
+            LabelArgPat::Const(c) => write!(f, "{c}"),
+            LabelArgPat::Expr(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The kind of fragment a pattern variable ranges over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FragKind {
+    /// Program variables.
+    Var,
+    /// Integer constants.
+    Const,
+    /// Expressions.
+    Expr,
+    /// Statement indices (branch targets).
+    Index,
+    /// Procedure names.
+    Proc,
+}
+
+/// A user label definition: a predicate over `currStmt` (paper §2.1.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelDef {
+    /// The label's name.
+    pub name: LabelName,
+    /// Formal parameters, bound to the label's arguments on use.
+    pub params: Vec<PatVar>,
+    /// The defining predicate; refers to the node's statement via
+    /// statement guards ([`Guard::Stmt`], [`Guard::CaseStmt`], the
+    /// syntactic primitives, …).
+    pub body: Guard,
+}
+
+/// The label environment: all label definitions in scope.
+///
+/// # Examples
+///
+/// ```
+/// use cobalt_dsl::{stdlib, LabelEnv};
+/// let env = LabelEnv::standard();
+/// assert!(env.lookup(&"mayDef".into()).is_some());
+/// assert!(env.lookup(&"notTainted".into()).is_none()); // semantic
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LabelEnv {
+    defs: HashMap<LabelName, LabelDef>,
+}
+
+impl LabelEnv {
+    /// An empty environment (all labels treated as semantic).
+    pub fn new() -> Self {
+        LabelEnv::default()
+    }
+
+    /// The standard environment: `mayDef`/`mayUse` in their
+    /// pointer-aware forms (paper §2.4), which degrade to the
+    /// conservative forms when no `notTainted` facts are present.
+    pub fn standard() -> Self {
+        let mut env = LabelEnv::new();
+        for def in crate::stdlib::standard_defs() {
+            env.define(def);
+        }
+        env
+    }
+
+    /// The fully conservative environment of paper §2.1.3: pointer
+    /// stores and calls may define (and pointer reads and calls may
+    /// use) *anything*, with no appeal to pointer analysis.
+    pub fn conservative() -> Self {
+        let mut env = LabelEnv::new();
+        for def in crate::stdlib::conservative_defs() {
+            env.define(def);
+        }
+        env
+    }
+
+    /// Registers (or replaces) a label definition.
+    pub fn define(&mut self, def: LabelDef) {
+        self.defs.insert(def.name.clone(), def);
+    }
+
+    /// Looks up a definition; `None` means the label is semantic.
+    pub fn lookup(&self, name: &LabelName) -> Option<&LabelDef> {
+        self.defs.get(name)
+    }
+
+    /// Iterates over all definitions.
+    pub fn iter(&self) -> impl Iterator<Item = &LabelDef> {
+        self.defs.values()
+    }
+}
+
+/// The semantic labels attached to one CFG node.
+pub type LabelSet = HashSet<LabelInst>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_inst_display() {
+        let l = LabelInst::new(
+            "notTainted",
+            vec![LabelArg::Var(Var::new("y"))],
+        );
+        assert_eq!(l.to_string(), "notTainted(y)");
+    }
+
+    #[test]
+    fn label_arg_to_binding() {
+        assert_eq!(
+            Binding::from(LabelArg::Const(3)),
+            Binding::Const(3)
+        );
+        assert_eq!(
+            Binding::from(LabelArg::Var(Var::new("x"))),
+            Binding::Var(Var::new("x"))
+        );
+    }
+
+    #[test]
+    fn env_define_and_lookup() {
+        let mut env = LabelEnv::new();
+        assert!(env.lookup(&"foo".into()).is_none());
+        env.define(LabelDef {
+            name: "foo".into(),
+            params: vec!["X".into()],
+            body: Guard::True,
+        });
+        assert_eq!(env.lookup(&"foo".into()).unwrap().params.len(), 1);
+        assert_eq!(env.iter().count(), 1);
+    }
+
+    #[test]
+    fn standard_env_has_core_labels() {
+        let env = LabelEnv::standard();
+        for name in ["mayDef", "mayUse"] {
+            assert!(env.lookup(&name.into()).is_some(), "{name} missing");
+        }
+    }
+}

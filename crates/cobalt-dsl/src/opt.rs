@@ -1,0 +1,248 @@
+//! Optimizations and pure analyses (paper §2.1, §2.2, §2.3, §2.4).
+//!
+//! An optimization is a *transformation pattern* — a guarded rewrite
+//! rule with a witness — `filtered through` a *profitability heuristic*
+//! (`choose`). Only the transformation pattern affects soundness; the
+//! heuristic may be arbitrary code.
+
+use crate::guard::Guard;
+use crate::label::{LabelName, LabelArgPat};
+use crate::pattern::StmtPat;
+use crate::subst::Subst;
+use crate::witness::{BackwardWitness, ForwardWitness};
+use cobalt_il::{Index, Proc};
+use std::fmt;
+use std::sync::Arc;
+
+/// The direction of a dataflow optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `ψ1 followed by ψ2 until s ⇒ s'`.
+    Forward,
+    /// `ψ1 preceded by ψ2 since s ⇒ s'`.
+    Backward,
+}
+
+/// A guard of the shape `ψ1 followed by ψ2` / `ψ1 preceded by ψ2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionGuard {
+    /// The enabling condition `ψ1`.
+    pub psi1: Guard,
+    /// The innocuous condition `ψ2`.
+    pub psi2: Guard,
+}
+
+/// How a transformation pattern is guarded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardSpec {
+    /// A witnessing-region guard, as in the paper.
+    Region(RegionGuard),
+    /// A node-local rewrite with no witnessing region: the rewrite is
+    /// justified by the matched statement alone (plus the `where`
+    /// condition). Used by constant folding, branch folding, and
+    /// self-assignment removal. This is a documented extension of the
+    /// paper's syntax; its obligations are F3-only.
+    Local,
+}
+
+/// The witness accompanying a transformation pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Witness {
+    /// A forward witness over `η`.
+    Forward(ForwardWitness),
+    /// A backward witness over `(η_old, η_new)`.
+    Backward(BackwardWitness),
+}
+
+/// A transformation pattern
+/// `ψ1 followed by ψ2 until s ⇒ s' where ψ0 with witness P`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformPattern {
+    /// Forward or backward.
+    pub direction: Direction,
+    /// The region guard (or `Local` for node-local rewrites).
+    pub guard: GuardSpec,
+    /// The statement pattern `s` to transform.
+    pub from: StmtPat,
+    /// The replacement template `s'`.
+    pub to: StmtPat,
+    /// An additional node-local condition on the transformed node
+    /// (`Guard::True` if absent).
+    pub where_clause: Guard,
+    /// The witness `P`.
+    pub witness: Witness,
+}
+
+/// A legal transformation instance: the node to rewrite and the
+/// substitution under which the pattern matched.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MatchSite {
+    /// The CFG node index `ι`.
+    pub index: Index,
+    /// The substitution `θ`.
+    pub subst: Subst,
+}
+
+impl fmt::Display for MatchSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.subst, self.index)
+    }
+}
+
+/// The type of a profitability-heuristic function.
+pub type ChooseFn = dyn Fn(&[MatchSite], &Proc) -> Vec<MatchSite> + Send + Sync;
+
+/// A profitability heuristic: given the legal transformations `Δ` and
+/// the procedure, selects the subset to perform (paper §2.3).
+#[derive(Clone)]
+pub enum Choose {
+    /// `choose_all`: perform every legal transformation (the default).
+    All,
+    /// An arbitrary user function. It may be written "in a language of
+    /// the user's choice" — here, any Rust closure. Its output is
+    /// intersected with `Δ` (paper Definition 2), so a buggy heuristic
+    /// can never break soundness.
+    Fn(Arc<ChooseFn>),
+}
+
+impl Choose {
+    /// Applies the heuristic. The result is always a subset of `delta`.
+    pub fn select(&self, delta: &[MatchSite], proc: &Proc) -> Vec<MatchSite> {
+        match self {
+            Choose::All => delta.to_vec(),
+            Choose::Fn(f) => {
+                let chosen = f(delta, proc);
+                chosen
+                    .into_iter()
+                    .filter(|m| delta.contains(m))
+                    .collect()
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Choose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Choose::All => write!(f, "Choose::All"),
+            Choose::Fn(_) => write!(f, "Choose::Fn(..)"),
+        }
+    }
+}
+
+/// A complete optimization: a transformation pattern filtered through a
+/// profitability heuristic.
+#[derive(Debug, Clone)]
+pub struct Optimization {
+    /// A human-readable name, e.g. `"const_prop"`.
+    pub name: String,
+    /// The soundness-relevant part.
+    pub pattern: TransformPattern,
+    /// The profitability heuristic.
+    pub choose: Choose,
+}
+
+impl Optimization {
+    /// Creates an optimization with the default `choose_all` heuristic.
+    pub fn new(name: impl Into<String>, pattern: TransformPattern) -> Self {
+        Optimization {
+            name: name.into(),
+            pattern,
+            choose: Choose::All,
+        }
+    }
+
+    /// Replaces the profitability heuristic.
+    pub fn with_choose(
+        mut self,
+        f: impl Fn(&[MatchSite], &Proc) -> Vec<MatchSite> + Send + Sync + 'static,
+    ) -> Self {
+        self.choose = Choose::Fn(Arc::new(f));
+        self
+    }
+}
+
+/// A pure analysis `ψ1 followed by ψ2 defines label with witness P`
+/// (paper §2.4). Pure analyses are forward-only.
+#[derive(Debug, Clone)]
+pub struct PureAnalysis {
+    /// A human-readable name.
+    pub name: String,
+    /// The region guard.
+    pub guard: RegionGuard,
+    /// The label this analysis defines, with its argument patterns
+    /// (pattern variables bound by `ψ1`).
+    pub defines: (LabelName, Vec<LabelArgPat>),
+    /// The forward witness giving the label its meaning.
+    pub witness: ForwardWitness,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{BasePat, ConstPat, ExprPat, LhsPat, VarPat};
+    use crate::subst::Binding;
+
+    fn dummy_pattern() -> TransformPattern {
+        TransformPattern {
+            direction: Direction::Forward,
+            guard: GuardSpec::Region(RegionGuard {
+                psi1: Guard::True,
+                psi2: Guard::True,
+            }),
+            from: StmtPat::Assign(
+                LhsPat::Var(VarPat::pat("X")),
+                ExprPat::Base(BasePat::Var(VarPat::pat("Y"))),
+            ),
+            to: StmtPat::Assign(
+                LhsPat::Var(VarPat::pat("X")),
+                ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+            ),
+            where_clause: Guard::True,
+            witness: Witness::Forward(ForwardWitness::True),
+        }
+    }
+
+    fn site(i: usize) -> MatchSite {
+        let mut s = Subst::new();
+        s.bind("X".into(), Binding::Const(i as i64));
+        MatchSite {
+            index: i,
+            subst: s,
+        }
+    }
+
+    #[test]
+    fn choose_all_returns_everything() {
+        let delta = [site(0), site(1)];
+        let proc = Proc::new("main", "x", vec![]);
+        assert_eq!(Choose::All.select(&delta, &proc), delta.to_vec());
+    }
+
+    #[test]
+    fn choose_fn_is_intersected_with_delta() {
+        // A malicious heuristic returning sites outside Δ is clipped.
+        let delta = [site(0)];
+        let proc = Proc::new("main", "x", vec![]);
+        let choose = Choose::Fn(Arc::new(|_d: &[MatchSite], _p: &Proc| {
+            vec![site(0), site(99)]
+        }));
+        assert_eq!(choose.select(&delta, &proc), vec![site(0)]);
+    }
+
+    #[test]
+    fn optimization_builder() {
+        let opt = Optimization::new("demo", dummy_pattern())
+            .with_choose(|delta, _| delta.iter().take(1).cloned().collect());
+        assert_eq!(opt.name, "demo");
+        let proc = Proc::new("main", "x", vec![]);
+        let delta = [site(0), site(1)];
+        assert_eq!(opt.choose.select(&delta, &proc).len(), 1);
+        assert!(format!("{:?}", opt.choose).contains("Fn"));
+    }
+
+    #[test]
+    fn match_site_display() {
+        assert_eq!(site(3).to_string(), "[X ↦ 3]@3");
+    }
+}

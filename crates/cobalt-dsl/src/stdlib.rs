@@ -1,0 +1,262 @@
+//! The standard label definitions (paper §2.1.3, §2.4).
+//!
+//! These are the pointer-aware forms from §2.4; in the absence of
+//! `notTainted` facts (i.e. when no taintedness analysis has run),
+//! `¬notTainted(Y)` evaluates to true and the definitions degrade to the
+//! conservative forms of §2.1.3.
+
+use crate::guard::Guard;
+use crate::label::{LabelArgPat, LabelDef};
+use crate::pattern::{BasePat, ExprPat, LhsPat, ProcPat, StmtPat, VarPat};
+
+fn not_tainted(v: VarPat) -> Guard {
+    Guard::Label("notTainted".into(), vec![LabelArgPat::Var(v)])
+}
+
+/// The `mayDef(Y)` definition:
+///
+/// ```text
+/// mayDef(Y) ≜ case currStmt of
+///     *X := Z    ↦ ¬notTainted(Y)
+///     X := P(Z)  ↦ X = Y ∨ ¬notTainted(Y)
+///     else       ↦ syntacticDef(Y)
+/// endcase
+/// ```
+pub fn may_def_def() -> LabelDef {
+    let y = || VarPat::pat("Y");
+    LabelDef {
+        name: "mayDef".into(),
+        params: vec!["Y".into()],
+        body: Guard::CaseStmt {
+            arms: vec![
+                (
+                    StmtPat::Assign(LhsPat::Deref(VarPat::pat("$P")), ExprPat::Any),
+                    not_tainted(y()).negate(),
+                ),
+                (
+                    StmtPat::Call {
+                        dst: VarPat::pat("$D"),
+                        proc: ProcPat::Pat("$F".into()),
+                        arg: BasePat::Var(VarPat::pat("$Z")),
+                    },
+                    Guard::or([
+                        Guard::VarEq(VarPat::pat("$D"), y()),
+                        not_tainted(y()).negate(),
+                    ]),
+                ),
+                (
+                    StmtPat::Call {
+                        dst: VarPat::pat("$D"),
+                        proc: ProcPat::Pat("$F".into()),
+                        arg: BasePat::Const(crate::pattern::ConstPat::pat("$C")),
+                    },
+                    Guard::or([
+                        Guard::VarEq(VarPat::pat("$D"), y()),
+                        not_tainted(y()).negate(),
+                    ]),
+                ),
+            ],
+            default: Box::new(Guard::SyntacticDef(y())),
+        },
+    }
+}
+
+/// The `mayUse(Y)` definition:
+///
+/// ```text
+/// mayUse(Y) ≜ case currStmt of
+///     X := *P    ↦ syntacticUse(Y) ∨ ¬notTainted(Y)
+///     X := P(Z)  ↦ syntacticUse(Y) ∨ ¬notTainted(Y)
+///     else       ↦ syntacticUse(Y)
+/// endcase
+/// ```
+///
+/// Reading through a pointer (and calling a procedure, which may read
+/// through reachable pointers) may observe any tainted variable.
+pub fn may_use_def() -> LabelDef {
+    let y = || VarPat::pat("Y");
+    let read_or_tainted = || {
+        Guard::or([
+            Guard::SyntacticUse(y()),
+            not_tainted(y()).negate(),
+        ])
+    };
+    LabelDef {
+        name: "mayUse".into(),
+        params: vec!["Y".into()],
+        body: Guard::CaseStmt {
+            arms: vec![
+                (
+                    // Any statement reading through a pointer may read a
+                    // tainted variable; this covers both `x := *p` and
+                    // `*q := *p` (the latter was caught by the checker —
+                    // see EXPERIMENTS.md, E2).
+                    StmtPat::Assign(LhsPat::Any, ExprPat::Deref(VarPat::pat("$P"))),
+                    read_or_tainted(),
+                ),
+                (
+                    StmtPat::Call {
+                        dst: VarPat::pat("$D"),
+                        proc: ProcPat::Pat("$F".into()),
+                        arg: BasePat::Var(VarPat::pat("$Z")),
+                    },
+                    read_or_tainted(),
+                ),
+                (
+                    StmtPat::Call {
+                        dst: VarPat::pat("$D"),
+                        proc: ProcPat::Pat("$F".into()),
+                        arg: BasePat::Const(crate::pattern::ConstPat::pat("$C")),
+                    },
+                    read_or_tainted(),
+                ),
+            ],
+            default: Box::new(Guard::SyntacticUse(y())),
+        },
+    }
+}
+
+/// All standard definitions, used by [`crate::LabelEnv::standard`].
+pub fn standard_defs() -> Vec<LabelDef> {
+    vec![may_def_def(), may_use_def()]
+}
+
+/// The fully conservative `mayDef` of paper §2.1.3, with no appeal to
+/// pointer information:
+///
+/// ```text
+/// mayDef(Y) ≜ case currStmt of
+///     *X := Z    ↦ true
+///     X := P(Z)  ↦ true
+///     else       ↦ syntacticDef(Y)
+/// endcase
+/// ```
+pub fn conservative_may_def_def() -> LabelDef {
+    let y = || VarPat::pat("Y");
+    LabelDef {
+        name: "mayDef".into(),
+        params: vec!["Y".into()],
+        body: Guard::CaseStmt {
+            arms: vec![
+                (
+                    StmtPat::Assign(LhsPat::Deref(VarPat::pat("$P")), ExprPat::Any),
+                    Guard::True,
+                ),
+                (
+                    StmtPat::Call {
+                        dst: VarPat::pat("$D"),
+                        proc: ProcPat::Pat("$F".into()),
+                        arg: BasePat::Var(VarPat::pat("$Z")),
+                    },
+                    Guard::True,
+                ),
+                (
+                    StmtPat::Call {
+                        dst: VarPat::pat("$D"),
+                        proc: ProcPat::Pat("$F".into()),
+                        arg: BasePat::Const(crate::pattern::ConstPat::pat("$C")),
+                    },
+                    Guard::True,
+                ),
+            ],
+            default: Box::new(Guard::SyntacticDef(y())),
+        },
+    }
+}
+
+/// The fully conservative `mayUse`: pointer reads and calls may use
+/// anything.
+pub fn conservative_may_use_def() -> LabelDef {
+    let y = || VarPat::pat("Y");
+    LabelDef {
+        name: "mayUse".into(),
+        params: vec!["Y".into()],
+        body: Guard::CaseStmt {
+            arms: vec![
+                (
+                    StmtPat::Assign(LhsPat::Any, ExprPat::Deref(VarPat::pat("$P"))),
+                    Guard::True,
+                ),
+                (
+                    StmtPat::Call {
+                        dst: VarPat::pat("$D"),
+                        proc: ProcPat::Pat("$F".into()),
+                        arg: BasePat::Var(VarPat::pat("$Z")),
+                    },
+                    Guard::True,
+                ),
+                (
+                    StmtPat::Call {
+                        dst: VarPat::pat("$D"),
+                        proc: ProcPat::Pat("$F".into()),
+                        arg: BasePat::Const(crate::pattern::ConstPat::pat("$C")),
+                    },
+                    Guard::True,
+                ),
+            ],
+            default: Box::new(Guard::SyntacticUse(y())),
+        },
+    }
+}
+
+/// The §2.1.3 conservative definitions, used by
+/// [`crate::LabelEnv::conservative`].
+pub fn conservative_defs() -> Vec<LabelDef> {
+    vec![conservative_may_def_def(), conservative_may_use_def()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{Domain, NodeCtx};
+    use crate::label::{LabelArg, LabelEnv, LabelInst, LabelSet};
+    use crate::subst::Subst;
+    use cobalt_il::{parse_stmt, Var};
+
+    fn eval_may_def(stmt_src: &str, var: &str, tainted_facts: &[&str]) -> bool {
+        let stmt = parse_stmt(stmt_src).unwrap();
+        let mut labels = LabelSet::new();
+        for v in tainted_facts {
+            labels.insert(LabelInst::new(
+                "notTainted",
+                vec![LabelArg::Var(Var::new(*v))],
+            ));
+        }
+        let env = LabelEnv::standard();
+        let domain = Domain::default();
+        let ctx = NodeCtx {
+            stmt: &stmt,
+            labels: &labels,
+            env: &env,
+            domain: &domain,
+        };
+        Guard::Label(
+            "mayDef".into(),
+            vec![LabelArgPat::Var(VarPat::Concrete(Var::new(var)))],
+        )
+        .eval(&ctx, &Subst::new())
+        .unwrap()
+    }
+
+    #[test]
+    fn call_with_const_arg_may_define_dst() {
+        assert!(eval_may_def("y := f(1)", "y", &[]));
+        assert!(eval_may_def("z := f(1)", "y", &[]));
+        // …but not a notTainted other variable.
+        assert!(!eval_may_def("z := f(1)", "y", &["y"]));
+        // The destination is always defined, even if notTainted.
+        assert!(eval_may_def("y := f(1)", "y", &["y"]));
+    }
+
+    #[test]
+    fn pointer_store_respects_taint() {
+        assert!(eval_may_def("*p := 1", "y", &[]));
+        assert!(!eval_may_def("*p := 1", "y", &["y"]));
+    }
+
+    #[test]
+    fn new_defines_only_its_destination() {
+        assert!(eval_may_def("y := new", "y", &[]));
+        assert!(!eval_may_def("y := new", "z", &[]));
+    }
+}

@@ -1,0 +1,217 @@
+//! Pattern variables and substitutions.
+//!
+//! A substitution `θ` maps the pattern variables of an optimization to
+//! fragments of the procedure being optimized (paper §3.2.1-§3.2.2).
+//! Substitutions are the *dataflow facts* of the execution engine
+//! (paper §5.2), so they are ordered and hashable.
+
+use cobalt_il::{Expr, ProcName, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A pattern variable, e.g. `X`, `Y`, `C`, `E`.
+///
+/// By convention pattern variables are upper-case, but any name is
+/// allowed; the kind of fragment a pattern variable ranges over is
+/// determined by the syntactic position it occupies in a pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatVar(String);
+
+impl PatVar {
+    /// Creates a pattern variable.
+    pub fn new(name: impl Into<String>) -> Self {
+        PatVar(name.into())
+    }
+
+    /// The variable's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for PatVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for PatVar {
+    fn from(s: &str) -> Self {
+        PatVar::new(s)
+    }
+}
+
+/// A program fragment bound to a pattern variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Binding {
+    /// A program variable.
+    Var(Var),
+    /// An integer constant.
+    Const(i64),
+    /// An expression.
+    Expr(Expr),
+    /// A statement index (branch target).
+    Index(usize),
+    /// A procedure name.
+    Proc(ProcName),
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Binding::Var(v) => write!(f, "{v}"),
+            Binding::Const(c) => write!(f, "{c}"),
+            Binding::Expr(e) => write!(f, "{e}"),
+            Binding::Index(i) => write!(f, "{i}"),
+            Binding::Proc(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A substitution `θ` from pattern variables to program fragments.
+///
+/// # Examples
+///
+/// ```
+/// use cobalt_dsl::{Binding, Subst};
+/// use cobalt_il::Var;
+///
+/// let mut theta = Subst::new();
+/// assert!(theta.bind("Y".into(), Binding::Var(Var::new("a"))));
+/// // Rebinding to the same fragment succeeds, to a different one fails.
+/// assert!(theta.bind("Y".into(), Binding::Var(Var::new("a"))));
+/// assert!(!theta.bind("Y".into(), Binding::Var(Var::new("b"))));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Subst(BTreeMap<PatVar, Binding>);
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// Binds `v` to `b`. Returns false (leaving the substitution
+    /// unchanged) if `v` is already bound to a different fragment.
+    pub fn bind(&mut self, v: PatVar, b: Binding) -> bool {
+        match self.0.get(&v) {
+            Some(prev) => prev == &b,
+            None => {
+                self.0.insert(v, b);
+                true
+            }
+        }
+    }
+
+    /// The binding of `v`, if any.
+    pub fn get(&self, v: &PatVar) -> Option<&Binding> {
+        self.0.get(v)
+    }
+
+    /// Whether `v` is bound.
+    pub fn contains(&self, v: &PatVar) -> bool {
+        self.0.contains_key(v)
+    }
+
+    /// Number of bound pattern variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the substitution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over `(pattern variable, binding)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PatVar, &Binding)> {
+        self.0.iter()
+    }
+
+    /// Merges another substitution in; fails on any conflicting binding
+    /// (leaving `self` partially extended — callers clone first).
+    pub fn merge(&mut self, other: &Subst) -> bool {
+        for (v, b) in other.iter() {
+            if !self.bind(v.clone(), b.clone()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (v, b)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} ↦ {b}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<(PatVar, Binding)> for Subst {
+    fn from_iter<T: IntoIterator<Item = (PatVar, Binding)>>(iter: T) -> Self {
+        Subst(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_get() {
+        let mut s = Subst::new();
+        assert!(s.bind("C".into(), Binding::Const(2)));
+        assert_eq!(s.get(&"C".into()), Some(&Binding::Const(2)));
+        assert!(s.contains(&"C".into()));
+        assert!(!s.contains(&"D".into()));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_bind_fails() {
+        let mut s = Subst::new();
+        assert!(s.bind("C".into(), Binding::Const(2)));
+        assert!(!s.bind("C".into(), Binding::Const(3)));
+        assert_eq!(s.get(&"C".into()), Some(&Binding::Const(2)));
+    }
+
+    #[test]
+    fn merge_detects_conflicts() {
+        let a: Subst = [("X".into(), Binding::Const(1))].into_iter().collect();
+        let b: Subst = [("Y".into(), Binding::Const(2))].into_iter().collect();
+        let c: Subst = [("X".into(), Binding::Const(9))].into_iter().collect();
+        let mut m = a.clone();
+        assert!(m.merge(&b));
+        assert_eq!(m.len(), 2);
+        let mut m2 = a.clone();
+        assert!(!m2.merge(&c));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let s: Subst = [
+            ("C".into(), Binding::Const(2)),
+            ("Y".into(), Binding::Var(Var::new("a"))),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.to_string(), "[C ↦ 2, Y ↦ a]");
+    }
+
+    #[test]
+    fn substs_are_hashable_set_members() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        let a: Subst = [("X".into(), Binding::Const(1))].into_iter().collect();
+        set.insert(a.clone());
+        assert!(set.contains(&a));
+        let b: Subst = [("X".into(), Binding::Const(2))].into_iter().collect();
+        assert!(!set.contains(&b));
+    }
+}

@@ -1,0 +1,37 @@
+//! Robustness: the parsers return errors, never panic, on arbitrary
+//! input — including near-miss mutations of valid sources.
+
+use proptest::prelude::*;
+
+const VALID: &str = "forward const_prop {
+    stmt(Y := C)
+    followed by !mayDef(Y)
+    until X := Y => X := C
+    with witness eta(Y) == C
+}";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_input_never_panics(src in "\\PC{0,200}") {
+        let _ = cobalt_dsl::parse_optimization(&src);
+        let _ = cobalt_dsl::parse_suite(&src);
+    }
+
+    #[test]
+    fn truncations_of_valid_input_never_panic(cut in 0usize..200) {
+        let src: String = VALID.chars().take(cut).collect();
+        let _ = cobalt_dsl::parse_optimization(&src);
+    }
+
+    #[test]
+    fn single_char_mutations_never_panic(pos in 0usize..150, c in proptest::char::any()) {
+        let mut chars: Vec<char> = VALID.chars().collect();
+        if pos < chars.len() {
+            chars[pos] = c;
+        }
+        let src: String = chars.into_iter().collect();
+        let _ = cobalt_dsl::parse_optimization(&src);
+    }
+}

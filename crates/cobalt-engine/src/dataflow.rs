@@ -1,0 +1,338 @@
+//! The substitution-set dataflow analysis of paper §5.2.
+//!
+//! Facts are sets of substitutions `θ`, each representing a potential
+//! witnessing region in progress. The flow function at a node keeps the
+//! incoming substitutions whose `ψ2` still holds (the region stays
+//! innocuous), and adds the substitutions under which `ψ1` holds (a new
+//! region opens). Merge points intersect, because the guard semantics
+//! quantifies over *all* CFG paths (Definition 1).
+//!
+//! The universe of substitutions is finite: every fact element
+//! originates from some `ψ1` solution at some node, so the analysis
+//! starts from that universe as ⊤ and iterates downward to the greatest
+//! fixpoint.
+
+use crate::analyzed::AnalyzedProc;
+use crate::error::EngineError;
+use cobalt_dsl::{LabelEnv, RegionGuard, Subst};
+use std::collections::HashSet;
+
+/// A dataflow fact: a set of substitutions.
+pub type FactSet = HashSet<Subst>;
+
+/// Computes, for each node `ι`, the *incoming* fact of a forward region
+/// guard: the set of `θ` such that on every CFG path from the entry to
+/// `ι` there is a `ψ1`-statement followed by zero or more
+/// `ψ2`-statements followed by `ι`.
+///
+/// # Errors
+///
+/// Propagates guard-evaluation errors.
+pub fn forward_in_facts(
+    ap: &AnalyzedProc,
+    env: &LabelEnv,
+    guard: &RegionGuard,
+) -> Result<Vec<FactSet>, EngineError> {
+    let n = ap.proc.len();
+    let (sols, survivors) = node_locals(ap, env, guard)?;
+    let universe: FactSet = sols.iter().flatten().cloned().collect();
+
+    // out[ι] starts at ⊤ (the universe); entry's in-fact is ∅.
+    let mut outs: Vec<FactSet> = vec![universe; n];
+    let mut ins: Vec<FactSet> = vec![FactSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let in_fact = if i == ap.cfg.entry() {
+                FactSet::new()
+            } else {
+                intersect_over(ap.cfg.predecessors(i).iter().map(|&p| &outs[p]))
+            };
+            let mut out_fact: FactSet = in_fact
+                .iter()
+                .filter(|t| survivors[i].contains(*t))
+                .cloned()
+                .collect();
+            out_fact.extend(sols[i].iter().cloned());
+            if out_fact != outs[i] {
+                outs[i] = out_fact;
+                changed = true;
+            }
+            ins[i] = in_fact;
+        }
+    }
+    Ok(ins)
+}
+
+/// Computes, for each node `ι`, the *continuation* fact of a backward
+/// region guard: the set of `θ` such that every CFG path starting at `ι`
+/// consists of zero or more `ψ2`-statements followed by a
+/// `ψ1`-statement (possibly `ι` itself).
+///
+/// A statement at `ι` may be transformed under `θ` iff `θ` is in the
+/// intersection of the continuation facts of `ι`'s successors — see
+/// [`backward_site_facts`].
+///
+/// # Errors
+///
+/// Propagates guard-evaluation errors.
+pub fn backward_cont_facts(
+    ap: &AnalyzedProc,
+    env: &LabelEnv,
+    guard: &RegionGuard,
+) -> Result<Vec<FactSet>, EngineError> {
+    let n = ap.proc.len();
+    let (sols, survivors) = node_locals(ap, env, guard)?;
+    let universe: FactSet = sols.iter().flatten().cloned().collect();
+
+    let mut facts: Vec<FactSet> = vec![universe; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let succs = ap.cfg.successors(i);
+            let from_succs = if succs.is_empty() {
+                FactSet::new()
+            } else {
+                intersect_over(succs.iter().map(|&s| &facts[s]))
+            };
+            let mut fact: FactSet = from_succs
+                .iter()
+                .filter(|t| survivors[i].contains(*t))
+                .cloned()
+                .collect();
+            fact.extend(sols[i].iter().cloned());
+            if fact != facts[i] {
+                facts[i] = fact;
+                changed = true;
+            }
+        }
+    }
+    Ok(facts)
+}
+
+/// Derives the per-node *transformable* facts from backward
+/// continuation facts: `θ` is valid at `ι` iff it is in every
+/// successor's continuation fact.
+pub fn backward_site_facts(ap: &AnalyzedProc, cont: &[FactSet]) -> Vec<FactSet> {
+    (0..ap.proc.len())
+        .map(|i| {
+            let succs = ap.cfg.successors(i);
+            if succs.is_empty() {
+                FactSet::new()
+            } else {
+                intersect_over(succs.iter().map(|&s| &cont[s]))
+            }
+        })
+        .collect()
+}
+
+/// Per-node `ψ1` solutions and the subset of the universe whose `ψ2`
+/// holds at the node.
+fn node_locals(
+    ap: &AnalyzedProc,
+    env: &LabelEnv,
+    guard: &RegionGuard,
+) -> Result<(Vec<Vec<Subst>>, Vec<FactSet>), EngineError> {
+    let n = ap.proc.len();
+    let mut sols = Vec::with_capacity(n);
+    for i in 0..n {
+        let ctx = ap.node_ctx(env, i);
+        sols.push(guard.psi1.solve(&ctx, &Subst::new())?);
+    }
+    let universe: Vec<Subst> = {
+        let mut set: FactSet = sols.iter().flatten().cloned().collect();
+        set.drain().collect()
+    };
+    let mut survivors = Vec::with_capacity(n);
+    for i in 0..n {
+        let ctx = ap.node_ctx(env, i);
+        let mut keep = FactSet::new();
+        for theta in &universe {
+            if guard.psi2.eval(&ctx, theta)? {
+                keep.insert(theta.clone());
+            }
+        }
+        survivors.push(keep);
+    }
+    Ok((sols, survivors))
+}
+
+fn intersect_over<'a>(mut sets: impl Iterator<Item = &'a FactSet>) -> FactSet {
+    let first = match sets.next() {
+        Some(s) => s.clone(),
+        None => return FactSet::new(),
+    };
+    sets.fold(first, |acc, s| acc.intersection(s).cloned().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobalt_dsl::{
+        BasePat, ConstPat, ExprPat, Guard, LabelArgPat, LhsPat, StmtPat, VarPat,
+    };
+    use cobalt_il::parse_program;
+
+    fn const_prop_guard() -> RegionGuard {
+        RegionGuard {
+            psi1: Guard::Stmt(StmtPat::Assign(
+                LhsPat::Var(VarPat::pat("Y")),
+                ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+            )),
+            psi2: Guard::not_label("mayDef", vec![LabelArgPat::Var(VarPat::pat("Y"))]),
+        }
+    }
+
+    fn analyzed(src: &str) -> AnalyzedProc {
+        let prog = parse_program(src).unwrap();
+        AnalyzedProc::new(prog.main().unwrap().clone()).unwrap()
+    }
+
+    #[test]
+    fn paper_section_5_2_example() {
+        // S1: a := 2; S2: b := 3; S3: c := a
+        let ap = analyzed(
+            "proc main(x) { a := 2; b := 3; c := a; return c; }",
+        );
+        let env = LabelEnv::standard();
+        let ins = forward_in_facts(&ap, &env, &const_prop_guard()).unwrap();
+        // After S1 (= into S2): exactly [Y ↦ a, C ↦ 2].
+        let show = |f: &FactSet| {
+            let mut v: Vec<String> = f.iter().map(|s| s.to_string()).collect();
+            v.sort();
+            v.join(" ")
+        };
+        assert_eq!(show(&ins[1]), "[C ↦ 2, Y ↦ a]");
+        // After S2 (= into S3): both substitutions, as in the paper.
+        assert_eq!(show(&ins[2]), "[C ↦ 2, Y ↦ a] [C ↦ 3, Y ↦ b]");
+    }
+
+    #[test]
+    fn kill_on_redefinition() {
+        let ap = analyzed(
+            "proc main(x) { a := 2; a := x; c := a; return c; }",
+        );
+        let env = LabelEnv::standard();
+        let ins = forward_in_facts(&ap, &env, &const_prop_guard()).unwrap();
+        // a := x kills [Y ↦ a, C ↦ 2].
+        assert!(ins[2].is_empty());
+    }
+
+    #[test]
+    fn merge_intersects_across_branches() {
+        // a := 2 on one branch only: no fact at the merge.
+        let ap = analyzed(
+            "proc main(x) {
+                if x goto 2 else 1;
+                a := 2;
+                c := a;
+                return c;
+             }",
+        );
+        let env = LabelEnv::standard();
+        let ins = forward_in_facts(&ap, &env, &const_prop_guard()).unwrap();
+        assert!(ins[2].iter().all(|t| t.to_string() != "[C ↦ 2, Y ↦ a]"));
+
+        // Same constant on both branches: fact survives the merge.
+        let ap2 = analyzed(
+            "proc main(x) {
+                if x goto 3 else 1;
+                a := 2;
+                if 1 goto 4 else 4;
+                a := 2;
+                c := a;
+                return c;
+             }",
+        );
+        let ins2 = forward_in_facts(&ap2, &env, &const_prop_guard()).unwrap();
+        assert!(ins2[4].iter().any(|t| t.to_string() == "[C ↦ 2, Y ↦ a]"));
+    }
+
+    #[test]
+    fn loop_kills_fact_that_is_redefined_in_body() {
+        // a := 2 before a loop that redefines a: at loop head the fact
+        // must not hold (the back edge brings the killed state).
+        let ap = analyzed(
+            "proc main(x) {
+                a := 2;
+                c := a;
+                a := x;
+                if x goto 1 else 5;
+                skip;
+                return c;
+             }",
+        );
+        let env = LabelEnv::standard();
+        let ins = forward_in_facts(&ap, &env, &const_prop_guard()).unwrap();
+        // Node 1 (c := a) is reached both from node 0 (fact holds) and
+        // the back edge from node 3 (killed at node 2): intersection is
+        // empty.
+        assert!(ins[1].is_empty(), "{:?}", ins[1]);
+    }
+
+    fn dae_guard() -> RegionGuard {
+        // ψ1 = (stmt(X := …) ∨ stmt(return …)) ∧ ¬mayUse(X)
+        // ψ2 = ¬mayUse(X)
+        let not_use = Guard::not_label("mayUse", vec![LabelArgPat::Var(VarPat::pat("X"))]);
+        RegionGuard {
+            psi1: Guard::and([
+                Guard::or([
+                    Guard::Stmt(StmtPat::Assign(
+                        LhsPat::Var(VarPat::pat("X")),
+                        ExprPat::Any,
+                    )),
+                    Guard::Stmt(StmtPat::ReturnAny),
+                ]),
+                not_use.clone(),
+            ]),
+            psi2: not_use,
+        }
+    }
+
+    #[test]
+    fn backward_dead_assignment_facts() {
+        // y := 5 is dead: y is redefined at 2 without an intervening use.
+        let ap = analyzed(
+            "proc main(x) { decl y; y := 5; y := x; return y; }",
+        );
+        let env = LabelEnv::standard();
+        let cont = backward_cont_facts(&ap, &env, &dae_guard()).unwrap();
+        let sites = backward_site_facts(&ap, &cont);
+        // At node 1 (y := 5) the substitution [X ↦ y] must be valid.
+        assert!(
+            sites[1].iter().any(|t| t.to_string() == "[X ↦ y]"),
+            "{:?}",
+            sites[1]
+        );
+        // At node 2 (y := x) it must NOT be valid: y is live (returned).
+        assert!(sites[2].iter().all(|t| t.to_string() != "[X ↦ y]"));
+    }
+
+    #[test]
+    fn backward_use_blocks_deadness() {
+        let ap = analyzed(
+            "proc main(x) { decl y; y := 5; z := y; y := x; return y; }",
+        );
+        let env = LabelEnv::standard();
+        let cont = backward_cont_facts(&ap, &env, &dae_guard()).unwrap();
+        let sites = backward_site_facts(&ap, &cont);
+        // z := y uses y, so y := 5 is not dead.
+        assert!(sites[1].iter().all(|t| t.to_string() != "[X ↦ y]"));
+        // But z := y itself is dead (z never used afterwards).
+        assert!(sites[2].iter().any(|t| t.to_string() == "[X ↦ z]"));
+    }
+
+    #[test]
+    fn backward_return_enables_everything_unused() {
+        let ap = analyzed("proc main(x) { y := 7; return x; }");
+        let env = LabelEnv::standard();
+        let cont = backward_cont_facts(&ap, &env, &dae_guard()).unwrap();
+        let sites = backward_site_facts(&ap, &cont);
+        // y := 7 is dead because return x doesn't use y.
+        assert!(sites[0].iter().any(|t| t.to_string() == "[X ↦ y]"));
+        // x is used by the return: not in the fact.
+        assert!(sites[0].iter().all(|t| t.to_string() != "[X ↦ x]"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Control-flow graphs over procedures, plus well-formedness validation.
+//!
+//! One CFG node per statement; edges follow the fall-through/branch
+//! structure of the IL. The entry node is index 0 (paper §3.2.2); exit
+//! nodes are the `return` statements.
+
+use crate::ast::{Index, Proc, Program, Stmt, Var};
+use crate::error::WellFormedError;
+
+/// The control-flow graph of a single procedure.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let prog = cobalt_il::parse_program(
+///     "proc main(x) { if x goto 2 else 1; skip; return x; }",
+/// )?;
+/// let cfg = cobalt_il::Cfg::new(prog.main().unwrap())?;
+/// assert_eq!(cfg.successors(0), &[2, 1]);
+/// assert_eq!(cfg.predecessors(2), &[0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    succs: Vec<Vec<Index>>,
+    preds: Vec<Vec<Index>>,
+    exits: Vec<Index>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `proc`, validating branch targets and the
+    /// trailing-`return` requirement on the way.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WellFormedError`] if the procedure is empty, does not
+    /// end with `return`, or branches out of range.
+    pub fn new(proc: &Proc) -> Result<Cfg, WellFormedError> {
+        let n = proc.stmts.len();
+        if n == 0 || !matches!(proc.stmts[n - 1], Stmt::Return(_)) {
+            return Err(WellFormedError::MissingReturn(proc.name.to_string()));
+        }
+        let mut succs = vec![Vec::new(); n];
+        let mut exits = Vec::new();
+        for (i, s) in proc.stmts.iter().enumerate() {
+            match s {
+                Stmt::Return(_) => exits.push(i),
+                Stmt::If {
+                    then_target,
+                    else_target,
+                    ..
+                } => {
+                    for &t in [then_target, else_target] {
+                        if t >= n {
+                            return Err(WellFormedError::BadBranchTarget {
+                                proc: proc.name.to_string(),
+                                index: i,
+                                target: t,
+                            });
+                        }
+                    }
+                    succs[i].push(*then_target);
+                    if else_target != then_target {
+                        succs[i].push(*else_target);
+                    }
+                }
+                _ => {
+                    if i + 1 >= n {
+                        // A non-return, non-branch statement in final
+                        // position would fall off the end; the trailing
+                        // `return` check above already rejected this.
+                        return Err(WellFormedError::MissingReturn(proc.name.to_string()));
+                    }
+                    succs[i].push(i + 1);
+                }
+            }
+        }
+        let mut preds = vec![Vec::new(); n];
+        for (i, ss) in succs.iter().enumerate() {
+            for &t in ss {
+                preds[t].push(i);
+            }
+        }
+        Ok(Cfg { succs, preds, exits })
+    }
+
+    /// Number of nodes (statements).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the CFG has no nodes. Always false for a valid CFG.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// The entry node index (always 0).
+    pub fn entry(&self) -> Index {
+        0
+    }
+
+    /// The exit nodes, i.e. indices of `return` statements.
+    pub fn exits(&self) -> &[Index] {
+        &self.exits
+    }
+
+    /// Successors of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn successors(&self, i: Index) -> &[Index] {
+        &self.succs[i]
+    }
+
+    /// Predecessors of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn predecessors(&self, i: Index) -> &[Index] {
+        &self.preds[i]
+    }
+
+    /// Nodes reachable from the entry, in a deterministic BFS order.
+    pub fn reachable(&self) -> Vec<Index> {
+        let mut seen = vec![false; self.len()];
+        let mut queue = std::collections::VecDeque::from([self.entry()]);
+        let mut order = Vec::new();
+        seen[self.entry()] = true;
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            for &s in self.successors(i) {
+                if !seen[s] {
+                    seen[s] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Checks the global well-formedness conditions of paper §3.1: a `main`
+/// procedure exists, procedure names are unique, no procedure declares a
+/// local twice, every procedure ends in `return` with in-range branch
+/// targets, and every callee exists.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let prog = cobalt_il::parse_program("proc main(x) { return x; }")?;
+/// cobalt_il::validate(&prog)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn validate(prog: &Program) -> Result<(), WellFormedError> {
+    if prog.main().is_none() {
+        return Err(WellFormedError::NoMain);
+    }
+    for (i, p) in prog.procs.iter().enumerate() {
+        if prog.procs[..i].iter().any(|q| q.name == p.name) {
+            return Err(WellFormedError::DuplicateProc(p.name.to_string()));
+        }
+        let mut declared: Vec<&Var> = Vec::new();
+        for (idx, s) in p.stmts.iter().enumerate() {
+            if let Stmt::Decl(v) = s {
+                if declared.contains(&v) {
+                    return Err(WellFormedError::DuplicateDecl {
+                        proc: p.name.to_string(),
+                        var: v.to_string(),
+                    });
+                }
+                declared.push(v);
+            }
+            if let Stmt::Call { proc: callee, .. } = s {
+                if prog.proc(callee).is_none() {
+                    return Err(WellFormedError::UnknownProc {
+                        proc: p.name.to_string(),
+                        index: idx,
+                        callee: callee.to_string(),
+                    });
+                }
+            }
+        }
+        Cfg::new(p)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn cfg_of(body: &str) -> Result<Cfg, WellFormedError> {
+        let src = format!("proc main(x) {{ {body} }}");
+        let prog = parse_program(&src).unwrap();
+        Cfg::new(prog.main().unwrap())
+    }
+
+    #[test]
+    fn straight_line_edges() {
+        let cfg = cfg_of("skip; skip; return x;").unwrap();
+        assert_eq!(cfg.successors(0), &[1]);
+        assert_eq!(cfg.successors(1), &[2]);
+        assert_eq!(cfg.successors(2), &[] as &[usize]);
+        assert_eq!(cfg.exits(), &[2]);
+    }
+
+    #[test]
+    fn branch_edges_and_merge_preds() {
+        let cfg = cfg_of("if x goto 2 else 1; skip; return x;").unwrap();
+        assert_eq!(cfg.successors(0), &[2, 1]);
+        assert_eq!(cfg.predecessors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn self_loop_allowed() {
+        let cfg = cfg_of("if x goto 0 else 1; return x;").unwrap();
+        assert_eq!(cfg.successors(0), &[0, 1]);
+        assert_eq!(cfg.predecessors(0), &[0]);
+    }
+
+    #[test]
+    fn identical_targets_deduplicated() {
+        let cfg = cfg_of("if x goto 1 else 1; return x;").unwrap();
+        assert_eq!(cfg.successors(0), &[1]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let err = cfg_of("if x goto 9 else 1; return x;").unwrap_err();
+        assert!(matches!(err, WellFormedError::BadBranchTarget { target: 9, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        assert!(matches!(
+            cfg_of("skip; skip;").unwrap_err(),
+            WellFormedError::MissingReturn(_)
+        ));
+    }
+
+    #[test]
+    fn multiple_returns_are_exits() {
+        let cfg = cfg_of("if x goto 2 else 1; return x; return x;").unwrap();
+        assert_eq!(cfg.exits(), &[1, 2]);
+    }
+
+    #[test]
+    fn reachable_skips_dead_code() {
+        let cfg = cfg_of("if x goto 3 else 3; skip; skip; return x;").unwrap();
+        assert_eq!(cfg.reachable(), vec![0, 3]);
+    }
+
+    #[test]
+    fn validate_full_program() {
+        let good = parse_program(
+            "proc main(x) { y := f(1); return y; } proc f(a) { return a; }",
+        )
+        .unwrap();
+        assert!(validate(&good).is_ok());
+
+        let no_main = parse_program("proc f(a) { return a; }").unwrap();
+        assert_eq!(validate(&no_main).unwrap_err(), WellFormedError::NoMain);
+
+        let dup = parse_program("proc main(x) { return x; } proc main(y) { return y; }").unwrap();
+        assert!(matches!(
+            validate(&dup).unwrap_err(),
+            WellFormedError::DuplicateProc(_)
+        ));
+
+        let dup_decl =
+            parse_program("proc main(x) { decl y; decl y; return x; }").unwrap();
+        assert!(matches!(
+            validate(&dup_decl).unwrap_err(),
+            WellFormedError::DuplicateDecl { .. }
+        ));
+
+        let unknown = parse_program("proc main(x) { y := g(1); return y; }").unwrap();
+        assert!(matches!(
+            validate(&unknown).unwrap_err(),
+            WellFormedError::UnknownProc { .. }
+        ));
+    }
+}

@@ -1,0 +1,854 @@
+//! Concrete interpreter for the intermediate language.
+//!
+//! Implements the state-transition function `→π` of paper §3.1 over
+//! states `η = (ι, ρ, σ, ξ, M)`:
+//!
+//! * `ι` — the index of the statement about to execute ([`State::index`]),
+//! * `ρ` — the environment mapping in-scope variables to locations,
+//! * `σ` — the store mapping locations to values,
+//! * `ξ` — the dynamic call chain,
+//! * `M` — the allocator, a monotone counter of fresh locations.
+//!
+//! Run-time errors are modeled as *stuckness*: [`step`](Interp::step)
+//! returns [`EvalError::Stuck`] exactly when the paper's `→π` has no
+//! successor state. The intraprocedural transition `↪π`, which steps
+//! *over* procedure calls, is [`Interp::step_over`].
+
+use crate::ast::{BaseExpr, Expr, Index, Lhs, OpKind, Proc, ProcName, Program, Stmt, Var};
+use crate::error::EvalError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A memory location, produced by the allocator `M`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Location(u64);
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// A run-time value: an integer constant or a location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A pointer to a location.
+    Loc(Location),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Loc(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// A suspended caller on the dynamic call chain `ξ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Frame {
+    proc: ProcName,
+    env: HashMap<Var, Location>,
+    /// Caller variable receiving the return value.
+    dst: Var,
+    /// Index of the call statement; execution resumes at `resume + 1`.
+    resume: Index,
+}
+
+/// An execution state `η = (ι, ρ, σ, ξ, M)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    proc: ProcName,
+    index: Index,
+    env: HashMap<Var, Location>,
+    store: HashMap<Location, Value>,
+    stack: Vec<Frame>,
+    next_loc: u64,
+}
+
+impl State {
+    /// The procedure currently executing.
+    pub fn proc(&self) -> &ProcName {
+        &self.proc
+    }
+
+    /// The index `ι` of the statement about to execute — the paper's
+    /// `index(η)` accessor.
+    pub fn index(&self) -> Index {
+        self.index
+    }
+
+    /// Depth of the dynamic call chain (0 in `main`).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// `η(x)` — the value of variable `x` in this state, if declared.
+    pub fn value_of(&self, x: &Var) -> Option<Value> {
+        let loc = self.env.get(x)?;
+        self.store.get(loc).copied()
+    }
+
+    /// The location `ρ(x)` of variable `x`, if declared.
+    pub fn location_of(&self, x: &Var) -> Option<Location> {
+        self.env.get(x).copied()
+    }
+
+    /// The value stored at a location, if any.
+    pub fn load(&self, loc: Location) -> Option<Value> {
+        self.store.get(&loc).copied()
+    }
+
+    /// Whether any location in the store holds a pointer to `x`'s
+    /// location — the negation of the paper's `notPointedTo(x, η)`.
+    pub fn is_pointed_to(&self, x: &Var) -> bool {
+        match self.env.get(x) {
+            None => false,
+            Some(loc) => self.store.values().any(|v| *v == Value::Loc(*loc)),
+        }
+    }
+}
+
+/// One executed statement in a recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The procedure executing.
+    pub proc: ProcName,
+    /// The statement index `ι`.
+    pub index: Index,
+    /// The statement itself (`None` if the index was out of range).
+    pub stmt: Option<Stmt>,
+    /// Call-chain depth (0 in `main`).
+    pub depth: usize,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let indent = "  ".repeat(self.depth);
+        match &self.stmt {
+            Some(s) => write!(f, "{indent}{}:{} {s}", self.proc, self.index),
+            None => write!(f, "{indent}{}:{} <out of range>", self.proc, self.index),
+        }
+    }
+}
+
+/// The result of one transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Execution continues in the given state.
+    Continue(State),
+    /// `main` returned with this value.
+    Done(Value),
+}
+
+/// An interpreter for a fixed program, with a step budget.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cobalt_il::{parse_program, Interp, Value};
+/// let prog = parse_program("proc main(x) { decl y; y := x + 1; return y; }")?;
+/// let result = Interp::new(&prog).run(41)?;
+/// assert_eq!(result, Value::Int(42));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Interp<'a> {
+    program: &'a Program,
+    fuel: u64,
+}
+
+/// Default step budget for [`Interp::run`].
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+impl<'a> Interp<'a> {
+    /// Creates an interpreter with the default step budget.
+    pub fn new(program: &'a Program) -> Self {
+        Interp {
+            program,
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Sets the step budget used by [`run`](Self::run) and
+    /// [`step_over`](Self::step_over).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// The initial state of `main(arg)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::IllFormed`] if the program has no `main`.
+    pub fn initial_state(&self, arg: i64) -> Result<State, EvalError> {
+        let main = self
+            .program
+            .main()
+            .ok_or(EvalError::IllFormed(crate::error::WellFormedError::NoMain))?;
+        let mut st = State {
+            proc: main.name.clone(),
+            index: 0,
+            env: HashMap::new(),
+            store: HashMap::new(),
+            stack: Vec::new(),
+            next_loc: 0,
+        };
+        let loc = alloc(&mut st);
+        st.env.insert(main.param.clone(), loc);
+        st.store.insert(loc, Value::Int(arg));
+        Ok(st)
+    }
+
+    /// Runs `main(arg)` to completion.
+    ///
+    /// # Errors
+    ///
+    /// * [`EvalError::Stuck`] on a run-time error (the paper's model),
+    /// * [`EvalError::OutOfFuel`] if the step budget is exhausted,
+    /// * [`EvalError::IllFormed`] if there is no `main` procedure.
+    pub fn run(&self, arg: i64) -> Result<Value, EvalError> {
+        let mut st = self.initial_state(arg)?;
+        for _ in 0..self.fuel {
+            match self.step(st)? {
+                StepOutcome::Continue(next) => st = next,
+                StepOutcome::Done(v) => return Ok(v),
+            }
+        }
+        Err(EvalError::OutOfFuel)
+    }
+
+    /// Runs `main(arg)`, recording the execution trace: one
+    /// [`TraceEntry`] per `→π` transition, in order.
+    ///
+    /// The trace is capped at the step budget, so it is safe on
+    /// nonterminating programs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run); on error the partial trace up to the
+    /// fault is returned alongside.
+    pub fn run_traced(&self, arg: i64) -> (Vec<TraceEntry>, Result<Value, EvalError>) {
+        let mut trace = Vec::new();
+        let mut st = match self.initial_state(arg) {
+            Ok(st) => st,
+            Err(e) => return (trace, Err(e)),
+        };
+        for _ in 0..self.fuel {
+            let stmt = self
+                .current_proc(&st)
+                .ok()
+                .and_then(|p| p.stmt_at(st.index))
+                .cloned();
+            let entry = TraceEntry {
+                proc: st.proc.clone(),
+                index: st.index,
+                stmt,
+                depth: st.depth(),
+            };
+            match self.step(st) {
+                Ok(StepOutcome::Continue(next)) => {
+                    trace.push(entry);
+                    st = next;
+                }
+                Ok(StepOutcome::Done(v)) => {
+                    trace.push(entry);
+                    return (trace, Ok(v));
+                }
+                Err(e) => {
+                    trace.push(entry);
+                    return (trace, Err(e));
+                }
+            }
+        }
+        (trace, Err(EvalError::OutOfFuel))
+    }
+
+    fn current_proc(&self, st: &State) -> Result<&'a Proc, EvalError> {
+        self.program.proc(&st.proc).ok_or_else(|| stuck(st, "unknown procedure"))
+    }
+
+    /// One transition of `→π`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Stuck`] when the paper's `→π` has no
+    /// successor (run-time error).
+    pub fn step(&self, mut st: State) -> Result<StepOutcome, EvalError> {
+        let proc = self.current_proc(&st)?;
+        let stmt = proc
+            .stmt_at(st.index)
+            .ok_or_else(|| stuck(&st, "statement index out of range"))?
+            .clone();
+        match stmt {
+            Stmt::Decl(x) => {
+                if st.env.contains_key(&x) {
+                    return Err(stuck(&st, format!("duplicate declaration of `{x}`")));
+                }
+                let loc = alloc(&mut st);
+                st.env.insert(x, loc);
+                st.store.insert(loc, Value::Int(0));
+                advance(st)
+            }
+            Stmt::Skip => advance(st),
+            Stmt::Assign(lhs, e) => {
+                let v = eval_expr(&st, &e)?;
+                let loc = eval_lhs(&st, &lhs)?;
+                st.store.insert(loc, v);
+                advance(st)
+            }
+            Stmt::New(x) => {
+                let target = lookup_loc(&st, &x)?;
+                let fresh = alloc(&mut st);
+                st.store.insert(fresh, Value::Int(0));
+                st.store.insert(target, Value::Loc(fresh));
+                advance(st)
+            }
+            Stmt::Call { dst, proc: callee, arg } => {
+                // The destination must be declared in the caller before
+                // the call, so the return can store into it.
+                lookup_loc(&st, &dst)?;
+                let callee_proc = self
+                    .program
+                    .proc(&callee)
+                    .ok_or_else(|| stuck(&st, format!("call to unknown procedure `{callee}`")))?;
+                let arg_val = eval_base(&st, &arg)?;
+                let frame = Frame {
+                    proc: st.proc.clone(),
+                    env: std::mem::take(&mut st.env),
+                    dst,
+                    resume: st.index,
+                };
+                st.stack.push(frame);
+                st.proc = callee_proc.name.clone();
+                st.index = 0;
+                let loc = alloc(&mut st);
+                st.env.insert(callee_proc.param.clone(), loc);
+                st.store.insert(loc, arg_val);
+                Ok(StepOutcome::Continue(st))
+            }
+            Stmt::If {
+                cond,
+                then_target,
+                else_target,
+            } => {
+                let v = eval_base(&st, &cond)?;
+                let taken = match v {
+                    Value::Int(n) => {
+                        if n != 0 {
+                            then_target
+                        } else {
+                            else_target
+                        }
+                    }
+                    Value::Loc(_) => return Err(stuck(&st, "branch on a pointer value")),
+                };
+                if taken >= proc.len() {
+                    return Err(stuck(&st, format!("branch target {taken} out of range")));
+                }
+                st.index = taken;
+                Ok(StepOutcome::Continue(st))
+            }
+            Stmt::Return(x) => {
+                let v = st.value_of(&x).ok_or_else(|| {
+                    stuck(&st, format!("return of undeclared variable `{x}`"))
+                })?;
+                match st.stack.pop() {
+                    None => Ok(StepOutcome::Done(v)),
+                    Some(frame) => {
+                        st.proc = frame.proc;
+                        st.env = frame.env;
+                        st.index = frame.resume + 1;
+                        let loc = lookup_loc(&st, &frame.dst)?;
+                        st.store.insert(loc, v);
+                        Ok(StepOutcome::Continue(st))
+                    }
+                }
+            }
+        }
+    }
+
+    /// One transition of the intraprocedural function `↪π`, which behaves
+    /// like `→π` except that procedure calls are stepped *over*: the
+    /// callee runs to completion (within the step budget) and the
+    /// returned state is back in the calling procedure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Stuck`] if execution faults, and
+    /// [`EvalError::OutOfFuel`] if a stepped-over call does not return
+    /// within the budget (the paper models unreturning calls as the
+    /// absence of an `↪π` transition).
+    pub fn step_over(&self, st: State) -> Result<StepOutcome, EvalError> {
+        let depth = st.depth();
+        let mut cur = match self.step(st)? {
+            StepOutcome::Continue(s) => s,
+            done => return Ok(done),
+        };
+        let mut remaining = self.fuel;
+        while cur.depth() > depth {
+            if remaining == 0 {
+                return Err(EvalError::OutOfFuel);
+            }
+            remaining -= 1;
+            cur = match self.step(cur)? {
+                StepOutcome::Continue(s) => s,
+                done => return Ok(done),
+            };
+        }
+        Ok(StepOutcome::Continue(cur))
+    }
+}
+
+fn alloc(st: &mut State) -> Location {
+    let loc = Location(st.next_loc);
+    st.next_loc += 1;
+    loc
+}
+
+fn advance(mut st: State) -> Result<StepOutcome, EvalError> {
+    st.index += 1;
+    Ok(StepOutcome::Continue(st))
+}
+
+fn stuck(st: &State, reason: impl Into<String>) -> EvalError {
+    EvalError::Stuck {
+        proc: st.proc.to_string(),
+        index: st.index,
+        reason: reason.into(),
+    }
+}
+
+fn lookup_loc(st: &State, x: &Var) -> Result<Location, EvalError> {
+    st.location_of(x)
+        .ok_or_else(|| stuck(st, format!("undeclared variable `{x}`")))
+}
+
+fn lookup_val(st: &State, x: &Var) -> Result<Value, EvalError> {
+    st.value_of(x)
+        .ok_or_else(|| stuck(st, format!("undeclared variable `{x}`")))
+}
+
+/// Evaluates a base expression in a state.
+///
+/// # Errors
+///
+/// Returns [`EvalError::Stuck`] for an undeclared variable.
+pub fn eval_base(st: &State, b: &BaseExpr) -> Result<Value, EvalError> {
+    match b {
+        BaseExpr::Var(x) => lookup_val(st, x),
+        BaseExpr::Const(c) => Ok(Value::Int(*c)),
+    }
+}
+
+/// Evaluates an expression in a state — the paper's `evalExpr(η, e)`.
+///
+/// # Errors
+///
+/// Returns [`EvalError::Stuck`] for undeclared variables, dereferences of
+/// non-pointers, and operator faults (see [`eval_op`]).
+pub fn eval_expr(st: &State, e: &Expr) -> Result<Value, EvalError> {
+    match e {
+        Expr::Base(b) => eval_base(st, b),
+        Expr::Deref(x) => match lookup_val(st, x)? {
+            Value::Loc(loc) => st
+                .load(loc)
+                .ok_or_else(|| stuck(st, format!("dangling pointer in `{x}`"))),
+            Value::Int(_) => Err(stuck(st, format!("dereference of non-pointer `{x}`"))),
+        },
+        Expr::AddrOf(x) => Ok(Value::Loc(lookup_loc(st, x)?)),
+        Expr::Op(op, args) => {
+            let mut ints = Vec::with_capacity(args.len());
+            for a in args {
+                match eval_base(st, a)? {
+                    Value::Int(n) => ints.push(n),
+                    Value::Loc(_) => {
+                        return Err(stuck(st, "operator applied to a pointer value"))
+                    }
+                }
+            }
+            let n = eval_op(*op, &ints)
+                .ok_or_else(|| stuck(st, format!("operator `{op}` fault")))?;
+            Ok(Value::Int(n))
+        }
+    }
+}
+
+/// Computes the location an assignment writes — the paper's
+/// `evalLExpr(η, lhs)`.
+///
+/// # Errors
+///
+/// Returns [`EvalError::Stuck`] for undeclared variables or a store
+/// through a non-pointer.
+pub fn eval_lhs(st: &State, lhs: &Lhs) -> Result<Location, EvalError> {
+    match lhs {
+        Lhs::Var(x) => lookup_loc(st, x),
+        Lhs::Deref(x) => match lookup_val(st, x)? {
+            Value::Loc(loc) => Ok(loc),
+            Value::Int(_) => Err(stuck(st, format!("store through non-pointer `{x}`"))),
+        },
+    }
+}
+
+/// Pure evaluation of an operator on integers.
+///
+/// Returns `None` on arity mismatch, division/remainder by zero, or
+/// overflow — all of which are run-time errors at the statement level.
+/// This function is shared with the constant-folding optimization and
+/// with the logical encoding of operators in `cobalt-verify`, so that
+/// "fold" and "prove" agree exactly.
+pub fn eval_op(op: OpKind, args: &[i64]) -> Option<i64> {
+    fn truth(b: bool) -> i64 {
+        if b {
+            1
+        } else {
+            0
+        }
+    }
+    let binary = |f: fn(i64, i64) -> Option<i64>| -> Option<i64> {
+        if args.len() == 2 {
+            f(args[0], args[1])
+        } else {
+            None
+        }
+    };
+    match op {
+        OpKind::Add => args.iter().try_fold(0i64, |acc, &n| acc.checked_add(n)),
+        OpKind::Sub => {
+            if args.len() == 1 {
+                args[0].checked_neg()
+            } else if args.is_empty() {
+                None
+            } else {
+                args[1..]
+                    .iter()
+                    .try_fold(args[0], |acc, &n| acc.checked_sub(n))
+            }
+        }
+        OpKind::Mul => args.iter().try_fold(1i64, |acc, &n| acc.checked_mul(n)),
+        OpKind::Div => binary(|a, b| a.checked_div(b)),
+        OpKind::Mod => binary(|a, b| a.checked_rem(b)),
+        OpKind::Eq => binary(|a, b| Some(truth(a == b))),
+        OpKind::Ne => binary(|a, b| Some(truth(a != b))),
+        OpKind::Lt => binary(|a, b| Some(truth(a < b))),
+        OpKind::Le => binary(|a, b| Some(truth(a <= b))),
+        OpKind::Gt => binary(|a, b| Some(truth(a > b))),
+        OpKind::Ge => binary(|a, b| Some(truth(a >= b))),
+        OpKind::And => {
+            if args.is_empty() {
+                None
+            } else {
+                Some(truth(args.iter().all(|&n| n != 0)))
+            }
+        }
+        OpKind::Or => {
+            if args.is_empty() {
+                None
+            } else {
+                Some(truth(args.iter().any(|&n| n != 0)))
+            }
+        }
+        OpKind::Not => {
+            if args.len() == 1 {
+                Some(truth(args[0] == 0))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run(src: &str, arg: i64) -> Result<Value, EvalError> {
+        let prog = parse_program(src).unwrap();
+        Interp::new(&prog).run(arg)
+    }
+
+    #[test]
+    fn arithmetic_and_temporaries() {
+        let v = run(
+            "proc main(x) { decl y; y := x + 2; decl z; z := y * y; return z; }",
+            3,
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(25));
+    }
+
+    #[test]
+    fn branch_loop_countdown() {
+        // while (x != 0) { s := s + x; x := x - 1 } return s
+        let src = "
+            proc main(x) {
+                decl s;
+                if x goto 2 else 5;
+                s := s + x;
+                x := x - 1;
+                if x goto 2 else 5;
+                return s;
+            }
+        ";
+        assert_eq!(run(src, 4).unwrap(), Value::Int(10));
+        assert_eq!(run(src, 0).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn pointers_to_locals() {
+        let src = "
+            proc main(x) {
+                decl y;
+                decl p;
+                p := &y;
+                *p := 7;
+                decl z;
+                z := *p;
+                z := z + y;
+                return z;
+            }
+        ";
+        assert_eq!(run(src, 0).unwrap(), Value::Int(14));
+    }
+
+    #[test]
+    fn heap_allocation() {
+        let src = "
+            proc main(x) {
+                decl p;
+                p := new;
+                *p := 5;
+                decl q;
+                q := p;
+                decl r;
+                r := *q;
+                return r;
+            }
+        ";
+        assert_eq!(run(src, 0).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn recursive_factorial() {
+        let src = "
+            proc main(x) {
+                decl r;
+                r := fact(x);
+                return r;
+            }
+            proc fact(n) {
+                decl r;
+                r := 1;
+                if n goto 3 else 7;
+                decl m;
+                m := n - 1;
+                r := fact(m);
+                r := r * n;
+                return r;
+            }
+        ";
+        assert_eq!(run(src, 5).unwrap(), Value::Int(120));
+        assert_eq!(run(src, 0).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn stuck_on_undeclared_variable() {
+        let err = run("proc main(x) { y := 1; return x; }", 0).unwrap_err();
+        assert!(matches!(err, EvalError::Stuck { .. }), "{err}");
+    }
+
+    #[test]
+    fn stuck_on_deref_of_integer() {
+        let err = run("proc main(x) { decl y; y := *x; return y; }", 3).unwrap_err();
+        assert!(matches!(err, EvalError::Stuck { .. }));
+    }
+
+    #[test]
+    fn stuck_on_store_through_integer() {
+        let err = run("proc main(x) { *x := 1; return x; }", 3).unwrap_err();
+        assert!(matches!(err, EvalError::Stuck { .. }));
+    }
+
+    #[test]
+    fn stuck_on_division_by_zero() {
+        let err = run("proc main(x) { decl y; y := 1 / x; return y; }", 0).unwrap_err();
+        assert!(matches!(err, EvalError::Stuck { .. }));
+    }
+
+    #[test]
+    fn stuck_on_pointer_arithmetic() {
+        let err = run(
+            "proc main(x) { decl p; p := &x; decl y; y := p + 1; return y; }",
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::Stuck { .. }));
+    }
+
+    #[test]
+    fn stuck_on_branch_on_pointer() {
+        let err = run(
+            "proc main(x) { decl p; p := &x; if p goto 0 else 3; return x; }",
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::Stuck { .. }));
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let prog = parse_program("proc main(x) { if 1 goto 0 else 1; return x; }").unwrap();
+        let err = Interp::new(&prog).with_fuel(1000).run(0).unwrap_err();
+        assert_eq!(err, EvalError::OutOfFuel);
+    }
+
+    #[test]
+    fn step_over_skips_calls() {
+        let src = "
+            proc main(x) {
+                decl r;
+                r := double(x);
+                return r;
+            }
+            proc double(n) {
+                decl m;
+                m := n + n;
+                return m;
+            }
+        ";
+        let prog = parse_program(src).unwrap();
+        let interp = Interp::new(&prog);
+        let st0 = interp.initial_state(21).unwrap();
+        // decl r
+        let st1 = match interp.step_over(st0).unwrap() {
+            StepOutcome::Continue(s) => s,
+            _ => panic!(),
+        };
+        assert_eq!(st1.index(), 1);
+        // r := double(x): one ↪ step lands back in main at index 2.
+        let st2 = match interp.step_over(st1).unwrap() {
+            StepOutcome::Continue(s) => s,
+            _ => panic!(),
+        };
+        assert_eq!(st2.proc().as_str(), "main");
+        assert_eq!(st2.index(), 2);
+        assert_eq!(st2.value_of(&Var::new("r")), Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn step_over_nonreturning_call_is_out_of_fuel() {
+        let src = "
+            proc main(x) {
+                decl r;
+                r := spin(x);
+                return r;
+            }
+            proc spin(n) {
+                if 1 goto 0 else 1;
+                return n;
+            }
+        ";
+        let prog = parse_program(src).unwrap();
+        let interp = Interp::new(&prog).with_fuel(500);
+        let st0 = interp.initial_state(0).unwrap();
+        let st1 = match interp.step_over(st0).unwrap() {
+            StepOutcome::Continue(s) => s,
+            _ => panic!(),
+        };
+        assert_eq!(interp.step_over(st1).unwrap_err(), EvalError::OutOfFuel);
+    }
+
+    #[test]
+    fn eval_op_table() {
+        assert_eq!(eval_op(OpKind::Add, &[1, 2, 3]), Some(6));
+        assert_eq!(eval_op(OpKind::Sub, &[5]), Some(-5));
+        assert_eq!(eval_op(OpKind::Sub, &[5, 2]), Some(3));
+        assert_eq!(eval_op(OpKind::Mul, &[3, 4]), Some(12));
+        assert_eq!(eval_op(OpKind::Div, &[7, 2]), Some(3));
+        assert_eq!(eval_op(OpKind::Div, &[7, 0]), None);
+        assert_eq!(eval_op(OpKind::Mod, &[7, 0]), None);
+        assert_eq!(eval_op(OpKind::Eq, &[2, 2]), Some(1));
+        assert_eq!(eval_op(OpKind::Ne, &[2, 2]), Some(0));
+        assert_eq!(eval_op(OpKind::Lt, &[1, 2]), Some(1));
+        assert_eq!(eval_op(OpKind::Le, &[2, 2]), Some(1));
+        assert_eq!(eval_op(OpKind::Gt, &[1, 2]), Some(0));
+        assert_eq!(eval_op(OpKind::Ge, &[1, 2]), Some(0));
+        assert_eq!(eval_op(OpKind::And, &[1, 2]), Some(1));
+        assert_eq!(eval_op(OpKind::And, &[1, 0]), Some(0));
+        assert_eq!(eval_op(OpKind::Or, &[0, 0]), Some(0));
+        assert_eq!(eval_op(OpKind::Not, &[0]), Some(1));
+        assert_eq!(eval_op(OpKind::Not, &[3]), Some(0));
+        assert_eq!(eval_op(OpKind::Not, &[1, 2]), None);
+        assert_eq!(eval_op(OpKind::Add, &[i64::MAX, 1]), None);
+    }
+
+    #[test]
+    fn run_traced_records_calls_with_depth() {
+        let src = "
+            proc main(x) {
+                decl r;
+                r := double(x);
+                return r;
+            }
+            proc double(n) {
+                decl m;
+                m := n + n;
+                return m;
+            }
+        ";
+        let prog = parse_program(src).unwrap();
+        let (trace, result) = Interp::new(&prog).run_traced(21);
+        assert_eq!(result.unwrap(), Value::Int(42));
+        // main(2 stmts) + call + callee(3 stmts) + return in main.
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace[2].proc.as_str(), "double");
+        assert_eq!(trace[2].depth, 1);
+        assert!(trace[2].to_string().starts_with("  double:0"));
+        assert_eq!(trace[5].to_string(), "main:2 return r");
+    }
+
+    #[test]
+    fn run_traced_returns_partial_trace_on_fault() {
+        let prog =
+            parse_program("proc main(x) { decl y; y := 1 / x; return y; }").unwrap();
+        let (trace, result) = Interp::new(&prog).run_traced(0);
+        assert!(matches!(result, Err(EvalError::Stuck { index: 1, .. })));
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[1].to_string(), "main:1 y := 1 / x");
+    }
+
+    #[test]
+    fn is_pointed_to_tracks_address_taken() {
+        let src = "
+            proc main(x) {
+                decl y;
+                decl p;
+                p := &y;
+                return x;
+            }
+        ";
+        let prog = parse_program(src).unwrap();
+        let interp = Interp::new(&prog);
+        let mut st = interp.initial_state(0).unwrap();
+        for _ in 0..2 {
+            st = match interp.step(st).unwrap() {
+                StepOutcome::Continue(s) => s,
+                _ => panic!(),
+            };
+        }
+        assert!(!st.is_pointed_to(&Var::new("y")));
+        st = match interp.step(st).unwrap() {
+            StepOutcome::Continue(s) => s,
+            _ => panic!(),
+        };
+        assert!(st.is_pointed_to(&Var::new("y")));
+    }
+}

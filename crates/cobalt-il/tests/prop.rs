@@ -1,0 +1,55 @@
+//! Property tests for the intermediate language: parser/pretty-printer
+//! round-trips, interpreter determinism, and well-formedness of
+//! generated programs.
+
+use cobalt_il::{
+    generate, parse_program, pretty_program, validate, EvalError, GenConfig, Interp,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pretty_parse_roundtrip(seed in 0u64..10_000, size in 5usize..60) {
+        let prog = generate(&GenConfig::sized(size, seed));
+        let printed = pretty_program(&prog);
+        let reparsed = parse_program(&printed).unwrap();
+        prop_assert_eq!(&prog, &reparsed);
+        // And printing is a fixed point.
+        prop_assert_eq!(printed, pretty_program(&reparsed));
+    }
+
+    #[test]
+    fn generated_programs_are_well_formed(seed in 0u64..10_000, size in 1usize..120) {
+        let prog = generate(&GenConfig::sized(size, seed));
+        prop_assert!(validate(&prog).is_ok());
+    }
+
+    #[test]
+    fn interpretation_is_deterministic(seed in 0u64..5_000, arg in -10i64..10) {
+        let prog = generate(&GenConfig::sized(25, seed));
+        let a = Interp::new(&prog).run(arg);
+        let b = Interp::new(&prog).run(arg);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(EvalError::Stuck { index: i, .. }), Err(EvalError::Stuck { index: j, .. })) => {
+                prop_assert_eq!(i, j)
+            }
+            (Err(EvalError::OutOfFuel), Err(EvalError::OutOfFuel)) => {}
+            (x, y) => prop_assert!(false, "nondeterministic: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn fuel_only_delays_the_same_answer(seed in 0u64..2_000, arg in -3i64..5) {
+        // A run that completes with small fuel completes identically
+        // with more fuel.
+        let prog = generate(&GenConfig::sized(20, seed));
+        let small = Interp::new(&prog).with_fuel(1_000).run(arg);
+        if let Ok(v) = small {
+            let big = Interp::new(&prog).with_fuel(1_000_000).run(arg).unwrap();
+            prop_assert_eq!(v, big);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+use cobalt_logic::{Formula, Limits, ProofTask, Solver};
+
+fn main() {
+    let mut s = Solver::with_limits(Limits { max_splits: 200, ..Default::default() });
+    let store = s.bank.app0("store");
+    let env = s.bank.app0("env");
+    let x = s.bank.app0("X");
+    let y = s.bank.app0("Y");
+    let c = s.bank.app0("C");
+    let iv = s.bank.constructor("intval");
+    let ivc = s.bank.app(iv, vec![c]);
+    let selx = s.select(env, x);
+    let sely = s.select(env, y);
+    let valy = s.select(store, sely);
+    let hyp1 = Formula::Eq(valy, ivc);
+    let hyp2 = Formula::or([Formula::Eq(x, y), Formula::ne(selx, sely)]);
+    let ve = s.bank.sym("varexpr");
+    let vey = s.bank.app(ve, vec![y]);
+    let ce = s.bank.sym("cstexpr");
+    let cec = s.bank.app(ce, vec![c]);
+    let ev = s.bank.sym("evalE");
+    let e1 = s.bank.app(ev, vec![store, env, vey]);
+    let e2 = s.bank.app(ev, vec![store, env, cec]);
+    let hyp3 = Formula::Eq(e1, valy);
+    let hyp4 = Formula::Eq(e2, ivc);
+    let u1 = s.update(store, selx, valy);
+    let u2 = s.update(store, selx, ivc);
+    let lsym = s.bank.sym("l");
+    let lvar = s.bank.var("l");
+    let s1 = s.select(u1, lvar);
+    let s2 = s.select(u2, lvar);
+    let goal = Formula::Forall {
+        vars: vec![lsym],
+        triggers: vec![s1, s2],
+        body: Box::new(Formula::Eq(s1, s2)),
+    };
+    let out = s.prove(&ProofTask { hypotheses: vec![Formula::True, hyp1, hyp3, hyp4, hyp2], goal });
+    println!("{out:?}");
+}

@@ -1,0 +1,484 @@
+//! Congruence closure over hash-consed terms, with disequalities and a
+//! free-constructor theory.
+//!
+//! This is the ground decision core of the prover: a union-find over
+//! [`TermId`]s with congruence propagation (Nelson–Oppen style use
+//! lists), plus:
+//!
+//! * **disequality tracking** — asserting `a ≠ b` and later deriving
+//!   `a = b` is a conflict;
+//! * **constructors** — applications of distinct constructor symbols are
+//!   never equal; merging two applications of the *same* constructor
+//!   merges their arguments (injectivity); distinct integer literals are
+//!   distinct values.
+
+use crate::term::{Sym, TermBank, TermData, TermId};
+use std::collections::HashMap;
+
+/// A congruence-closure context.
+///
+/// Cloning a `Cc` is how the solver branches: the clone shares the
+/// (append-only) [`TermBank`] but has independent equivalence classes.
+#[derive(Debug, Clone, Default)]
+pub struct Cc {
+    parent: Vec<TermId>,
+    size: Vec<u32>,
+    use_list: HashMap<TermId, Vec<TermId>>,
+    sig: HashMap<(Sym, Vec<TermId>), TermId>,
+    diseqs: Vec<(TermId, TermId)>,
+    /// Per-class witness that the class contains a constructor
+    /// application or integer literal, keyed by representative.
+    ctor: HashMap<TermId, TermId>,
+    conflict: Option<String>,
+    /// Number of bank terms already registered.
+    synced: usize,
+}
+
+impl Cc {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Cc::default()
+    }
+
+    /// Whether a contradiction has been derived.
+    pub fn in_conflict(&self) -> bool {
+        self.conflict.is_some()
+    }
+
+    /// Description of the contradiction, if any.
+    pub fn conflict(&self) -> Option<&str> {
+        self.conflict.as_deref()
+    }
+
+    /// Registers all bank terms created since the last call, propagating
+    /// congruences that involve them.
+    ///
+    /// Must be called after any batch of term creation and before
+    /// queries involving the new terms.
+    pub fn sync(&mut self, bank: &TermBank) {
+        while self.synced < bank.len() {
+            let t = TermId(self.synced as u32);
+            self.synced += 1;
+            self.parent.push(t);
+            self.size.push(1);
+            match bank.data(t).clone() {
+                TermData::App(f, args) => {
+                    for &a in &args {
+                        let ra = self.find(a);
+                        self.use_list.entry(ra).or_default().push(t);
+                    }
+                    if bank.is_constructor(f) {
+                        self.ctor.insert(t, t);
+                    }
+                    let key = (f, args.iter().map(|&a| self.find(a)).collect::<Vec<_>>());
+                    if let Some(&q) = self.sig.get(&key) {
+                        self.merge(t, q, bank);
+                    } else {
+                        self.sig.insert(key, t);
+                    }
+                }
+                TermData::Int(_) => {
+                    self.ctor.insert(t, t);
+                }
+                TermData::Var(_) => {}
+            }
+        }
+    }
+
+    /// The class representative of `t`, with path compression.
+    pub fn find(&mut self, t: TermId) -> TermId {
+        let mut root = t;
+        while self.parent[root.idx()] != root {
+            root = self.parent[root.idx()];
+        }
+        let mut cur = t;
+        while self.parent[cur.idx()] != root {
+            let next = self.parent[cur.idx()];
+            self.parent[cur.idx()] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Whether `a` and `b` are known equal.
+    pub fn are_eq(&mut self, a: TermId, b: TermId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Whether `a ≠ b` is known, either from an asserted disequality or
+    /// from the constructor theory.
+    pub fn are_diseq(&mut self, a: TermId, b: TermId, bank: &TermBank) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        for i in 0..self.diseqs.len() {
+            let (x, y) = self.diseqs[i];
+            let (rx, ry) = (self.find(x), self.find(y));
+            if (rx, ry) == (ra, rb) || (rx, ry) == (rb, ra) {
+                return true;
+            }
+        }
+        if let (Some(&ca), Some(&cb)) = (self.ctor.get(&ra), self.ctor.get(&rb)) {
+            return match ctor_clash(bank, ca, cb) {
+                Some(CtorRel::Clash(_)) => true,
+                Some(CtorRel::SameCtor) => {
+                    // Injectivity: same-constructor applications are
+                    // distinct exactly when some argument pair is.
+                    match (bank.data(ca).clone(), bank.data(cb).clone()) {
+                        (TermData::App(_, ax), TermData::App(_, ay)) => ax
+                            .into_iter()
+                            .zip(ay)
+                            .any(|(x, y)| self.are_diseq(x, y, bank)),
+                        _ => false,
+                    }
+                }
+                None => false,
+            };
+        }
+        false
+    }
+
+    /// Asserts `a = b`, propagating congruences, injectivity, and
+    /// checking disequalities and constructor disjointness.
+    ///
+    /// On contradiction the context enters the conflict state (see
+    /// [`in_conflict`](Self::in_conflict)); further operations are
+    /// harmless no-ops.
+    pub fn merge(&mut self, a: TermId, b: TermId, bank: &TermBank) {
+        if self.conflict.is_some() {
+            return;
+        }
+        let mut pending = vec![(a, b)];
+        while let Some((x, y)) = pending.pop() {
+            if self.conflict.is_some() {
+                return;
+            }
+            let mut rx = self.find(x);
+            let mut ry = self.find(y);
+            if rx == ry {
+                continue;
+            }
+            // Union by size: ry joins rx.
+            if self.size[rx.idx()] < self.size[ry.idx()] {
+                std::mem::swap(&mut rx, &mut ry);
+            }
+            // Constructor theory.
+            match (self.ctor.get(&rx).copied(), self.ctor.get(&ry).copied()) {
+                (Some(cx), Some(cy)) => match ctor_clash(bank, cx, cy) {
+                    Some(CtorRel::SameCtor) => {
+                        if let (TermData::App(_, ax), TermData::App(_, ay)) =
+                            (bank.data(cx).clone(), bank.data(cy).clone())
+                        {
+                            pending.extend(ax.into_iter().zip(ay));
+                        }
+                    }
+                    Some(CtorRel::Clash(msg)) => {
+                        self.conflict = Some(msg);
+                        return;
+                    }
+                    None => {}
+                },
+                (None, Some(cy)) => {
+                    self.ctor.insert(rx, cy);
+                }
+                _ => {}
+            }
+            self.parent[ry.idx()] = rx;
+            self.size[rx.idx()] += self.size[ry.idx()];
+            // Re-normalize signatures of applications that used ry.
+            let moved = self.use_list.remove(&ry).unwrap_or_default();
+            for p in &moved {
+                let (f, args) = match bank.data(*p) {
+                    TermData::App(f, args) => (*f, args.clone()),
+                    _ => continue,
+                };
+                let key = (f, args.iter().map(|&t| self.find(t)).collect::<Vec<_>>());
+                match self.sig.get(&key) {
+                    Some(&q) => {
+                        if self.find(q) != self.find(*p) {
+                            pending.push((*p, q));
+                        }
+                    }
+                    None => {
+                        self.sig.insert(key, *p);
+                    }
+                }
+            }
+            self.use_list.entry(rx).or_default().extend(moved);
+            // Disequality check.
+            for i in 0..self.diseqs.len() {
+                let (u, v) = self.diseqs[i];
+                if self.find(u) == self.find(v) {
+                    self.conflict = Some(format!(
+                        "asserted disequality violated: {} = {}",
+                        bank.display(u),
+                        bank.display(v)
+                    ));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Asserts `a ≠ b`.
+    ///
+    /// Conflicts immediately if `a = b` is already known.
+    pub fn assert_diseq(&mut self, a: TermId, b: TermId, bank: &TermBank) {
+        if self.conflict.is_some() {
+            return;
+        }
+        if self.are_eq(a, b) {
+            self.conflict = Some(format!(
+                "disequality {} ≠ {} contradicts known equality",
+                bank.display(a),
+                bank.display(b)
+            ));
+            return;
+        }
+        self.diseqs.push((a, b));
+    }
+
+    /// The constructor application or integer literal known to be in
+    /// `t`'s class, if any.
+    pub fn ctor_of(&mut self, t: TermId) -> Option<TermId> {
+        let r = self.find(t);
+        self.ctor.get(&r).copied()
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum CtorRel {
+    SameCtor,
+    Clash(String),
+}
+
+/// Classifies the relationship between two constructor witnesses.
+fn ctor_clash(bank: &TermBank, a: TermId, b: TermId) -> Option<CtorRel> {
+    match (bank.data(a), bank.data(b)) {
+        (TermData::Int(m), TermData::Int(n)) => {
+            if m == n {
+                None
+            } else {
+                Some(CtorRel::Clash(format!("distinct integers {m} and {n}")))
+            }
+        }
+        (TermData::Int(n), TermData::App(f, _)) | (TermData::App(f, _), TermData::Int(n)) => {
+            Some(CtorRel::Clash(format!(
+                "integer {n} vs constructor {}",
+                bank.sym_name(*f)
+            )))
+        }
+        (TermData::App(f, _), TermData::App(g, _)) => {
+            if f == g {
+                Some(CtorRel::SameCtor)
+            } else {
+                Some(CtorRel::Clash(format!(
+                    "distinct constructors {} and {}",
+                    bank.sym_name(*f),
+                    bank.sym_name(*g)
+                )))
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TermBank, Cc) {
+        (TermBank::new(), Cc::new())
+    }
+
+    #[test]
+    fn transitivity() {
+        let (mut b, mut cc) = setup();
+        let x = b.app0("x");
+        let y = b.app0("y");
+        let z = b.app0("z");
+        cc.sync(&b);
+        cc.merge(x, y, &b);
+        cc.merge(y, z, &b);
+        assert!(cc.are_eq(x, z));
+    }
+
+    #[test]
+    fn congruence_propagates() {
+        let (mut b, mut cc) = setup();
+        let f = b.sym("f");
+        let x = b.app0("x");
+        let y = b.app0("y");
+        let fx = b.app(f, vec![x]);
+        let fy = b.app(f, vec![y]);
+        cc.sync(&b);
+        assert!(!cc.are_eq(fx, fy));
+        cc.merge(x, y, &b);
+        assert!(cc.are_eq(fx, fy));
+    }
+
+    #[test]
+    fn congruence_on_terms_created_after_merge() {
+        let (mut b, mut cc) = setup();
+        let f = b.sym("f");
+        let x = b.app0("x");
+        let y = b.app0("y");
+        cc.sync(&b);
+        cc.merge(x, y, &b);
+        let fx = b.app(f, vec![x]);
+        let fy = b.app(f, vec![y]);
+        cc.sync(&b);
+        assert!(cc.are_eq(fx, fy));
+    }
+
+    #[test]
+    fn nested_congruence() {
+        let (mut b, mut cc) = setup();
+        let f = b.sym("f");
+        let g = b.sym("g");
+        let x = b.app0("x");
+        let y = b.app0("y");
+        let gx = b.app(g, vec![x]);
+        let gy = b.app(g, vec![y]);
+        let fgx = b.app(f, vec![gx]);
+        let fgy = b.app(f, vec![gy]);
+        cc.sync(&b);
+        cc.merge(x, y, &b);
+        assert!(cc.are_eq(fgx, fgy));
+    }
+
+    #[test]
+    fn diseq_conflict() {
+        let (mut b, mut cc) = setup();
+        let x = b.app0("x");
+        let y = b.app0("y");
+        let z = b.app0("z");
+        cc.sync(&b);
+        cc.assert_diseq(x, z, &b);
+        assert!(!cc.in_conflict());
+        cc.merge(x, y, &b);
+        assert!(!cc.in_conflict());
+        cc.merge(y, z, &b);
+        assert!(cc.in_conflict());
+    }
+
+    #[test]
+    fn distinct_int_literals_conflict() {
+        let (mut b, mut cc) = setup();
+        let one = b.int(1);
+        let two = b.int(2);
+        let x = b.app0("x");
+        cc.sync(&b);
+        cc.merge(x, one, &b);
+        cc.merge(x, two, &b);
+        assert!(cc.in_conflict());
+    }
+
+    #[test]
+    fn distinct_constructors_conflict() {
+        let (mut b, mut cc) = setup();
+        let skip = b.constructor("skip");
+        let decl = b.constructor("decl");
+        let x = b.app0("x");
+        let s = b.app(skip, vec![]);
+        let d = b.app(decl, vec![x]);
+        cc.sync(&b);
+        cc.merge(s, d, &b);
+        assert!(cc.in_conflict());
+    }
+
+    #[test]
+    fn constructor_injectivity() {
+        let (mut b, mut cc) = setup();
+        let pair = b.constructor("pair");
+        let (x, y, u, v) = (b.app0("x"), b.app0("y"), b.app0("u"), b.app0("v"));
+        let p1 = b.app(pair, vec![x, y]);
+        let p2 = b.app(pair, vec![u, v]);
+        cc.sync(&b);
+        cc.merge(p1, p2, &b);
+        assert!(!cc.in_conflict());
+        assert!(cc.are_eq(x, u));
+        assert!(cc.are_eq(y, v));
+    }
+
+    #[test]
+    fn injectivity_can_conflict_transitively() {
+        let (mut b, mut cc) = setup();
+        let c = b.constructor("c");
+        let one = b.int(1);
+        let two = b.int(2);
+        let c1 = b.app(c, vec![one]);
+        let c2 = b.app(c, vec![two]);
+        cc.sync(&b);
+        cc.merge(c1, c2, &b);
+        assert!(cc.in_conflict());
+    }
+
+    #[test]
+    fn are_diseq_via_constructors() {
+        let (mut b, mut cc) = setup();
+        let skip = b.constructor("skip");
+        let decl = b.constructor("decl");
+        let x = b.app0("x");
+        let s = b.app(skip, vec![]);
+        let d = b.app(decl, vec![x]);
+        let c = b.app0("cur");
+        cc.sync(&b);
+        cc.merge(c, s, &b);
+        assert!(cc.are_diseq(c, d, &b));
+        let one = b.int(1);
+        let zero = b.int(0);
+        cc.sync(&b);
+        assert!(cc.are_diseq(one, zero, &b));
+    }
+
+    #[test]
+    fn injectivity_propagates_into_are_diseq() {
+        // locval(a) ≠ locval(b) follows from a ≠ b without a case
+        // split, because constructors are injective.
+        let (mut b, mut cc) = setup();
+        let locval = b.constructor("locval");
+        let (x, y) = (b.app0("x"), b.app0("y"));
+        let lx = b.app(locval, vec![x]);
+        let ly = b.app(locval, vec![y]);
+        cc.sync(&b);
+        assert!(!cc.are_diseq(lx, ly, &b));
+        cc.assert_diseq(x, y, &b);
+        assert!(cc.are_diseq(lx, ly, &b));
+        // Nested: locval(locval(x)) vs locval(locval(y)).
+        let llx = b.app(locval, vec![lx]);
+        let lly = b.app(locval, vec![ly]);
+        cc.sync(&b);
+        assert!(cc.are_diseq(llx, lly, &b));
+    }
+
+    #[test]
+    fn clone_isolates_branches() {
+        let (mut b, mut cc) = setup();
+        let x = b.app0("x");
+        let y = b.app0("y");
+        cc.sync(&b);
+        let mut branch = cc.clone();
+        branch.merge(x, y, &b);
+        assert!(branch.are_eq(x, y));
+        assert!(!cc.are_eq(x, y));
+    }
+
+    #[test]
+    fn conflict_is_sticky_and_safe() {
+        let (mut b, mut cc) = setup();
+        let one = b.int(1);
+        let two = b.int(2);
+        cc.sync(&b);
+        cc.merge(one, two, &b);
+        assert!(cc.in_conflict());
+        let x = b.app0("x");
+        cc.sync(&b);
+        cc.merge(x, one, &b);
+        cc.assert_diseq(x, two, &b);
+        assert!(cc.in_conflict());
+        assert!(cc.conflict().is_some());
+    }
+}

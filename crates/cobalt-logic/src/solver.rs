@@ -1,0 +1,1083 @@
+//! The proof search engine: a tableau over the congruence-closure core,
+//! with an integrated select/update array theory and trigger-based
+//! quantifier instantiation.
+//!
+//! This plays the role Simplify plays in the paper (§5.1): it receives
+//! the optimization-specific proof obligations together with background
+//! axioms and attempts to discharge them fully automatically. The
+//! obligations are *validity* checks `hypotheses ⊨ goal`; the solver
+//! refutes `hypotheses ∧ ¬goal` by closing every tableau branch.
+//!
+//! Theories:
+//!
+//! * **EUF** with free constructors — see [`crate::cc`].
+//! * **Arrays** (`select`/`update`): read-over-write is decided by
+//!   merging when indices are known equal or known distinct, and by
+//!   case-splitting on index equality otherwise.
+//! * **Quantifiers**: universal hypotheses are instantiated by syntactic
+//!   matching of their trigger patterns against ground terms
+//!   (Simplify-style matching); existential hypotheses (and universal
+//!   goals) are skolemized.
+
+use crate::cc::Cc;
+use crate::formula::Formula;
+use crate::term::{Sym, TermBank, TermData, TermId};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// The function symbol used for array reads.
+pub const SELECT: &str = "select";
+/// The function symbol used for functional array writes.
+pub const UPDATE: &str = "update";
+
+/// Resource limits for proof search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum number of case splits across the whole search.
+    pub max_splits: usize,
+    /// Maximum quantifier-instantiation rounds per branch.
+    pub max_inst_rounds: usize,
+    /// Hard cap on interned terms (guards runaway instantiation).
+    pub max_terms: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_splits: 20_000,
+            max_inst_rounds: 4,
+            max_terms: 200_000,
+        }
+    }
+}
+
+/// Statistics from a successful proof.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of case splits explored.
+    pub splits: usize,
+    /// Number of quantifier instances generated.
+    pub instances: usize,
+    /// Number of tableau branches closed.
+    pub branches: usize,
+}
+
+/// The outcome of a proof attempt.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The goal is valid under the hypotheses.
+    Proved {
+        /// Search statistics.
+        stats: Stats,
+        /// Wall-clock time spent.
+        elapsed: Duration,
+    },
+    /// The search found a branch it could not close (potential
+    /// counterexample) or hit a resource limit.
+    Unknown {
+        /// Why the search gave up.
+        reason: String,
+        /// The literals of the first open branch — the paper's
+        /// "counterexample context" (§7), used for error reporting.
+        open_branch: Vec<String>,
+        /// Search statistics up to the point of giving up.
+        stats: Stats,
+        /// Wall-clock time spent.
+        elapsed: Duration,
+    },
+}
+
+impl Outcome {
+    /// Whether the obligation was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Outcome::Proved { .. })
+    }
+
+    /// Time spent on the attempt.
+    pub fn elapsed(&self) -> Duration {
+        match self {
+            Outcome::Proved { elapsed, .. } | Outcome::Unknown { elapsed, .. } => *elapsed,
+        }
+    }
+
+    /// Search statistics, whether or not the proof succeeded.
+    pub fn stats(&self) -> &Stats {
+        match self {
+            Outcome::Proved { stats, .. } | Outcome::Unknown { stats, .. } => stats,
+        }
+    }
+}
+
+/// A proof obligation: `hypotheses ⊨ goal`.
+#[derive(Debug, Clone)]
+pub struct ProofTask {
+    /// Formulas assumed true.
+    pub hypotheses: Vec<Formula>,
+    /// The formula to establish.
+    pub goal: Formula,
+}
+
+/// The theorem prover.
+///
+/// # Examples
+///
+/// ```
+/// use cobalt_logic::{Formula, ProofTask, Solver};
+/// let mut solver = Solver::new();
+/// let x = solver.bank.app0("x");
+/// let y = solver.bank.app0("y");
+/// let task = ProofTask {
+///     hypotheses: vec![Formula::Eq(x, y)],
+///     goal: Formula::Eq(y, x),
+/// };
+/// assert!(solver.prove(&task).is_proved());
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    /// The term arena. Public so callers can build hypothesis and goal
+    /// terms directly in it.
+    pub bank: TermBank,
+    limits: Limits,
+    skolem_counter: u64,
+}
+
+impl Solver {
+    /// Creates a solver with default limits.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Creates a solver with the given limits.
+    pub fn with_limits(limits: Limits) -> Self {
+        Solver {
+            limits,
+            ..Solver::default()
+        }
+    }
+
+    /// Replaces the resource limits (e.g. after terms have already been
+    /// built in the bank).
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    /// The distinguished "true" constant used to encode predicates.
+    pub fn tt(&mut self) -> TermId {
+        let s = self.bank.constructor("$true");
+        self.bank.app(s, Vec::new())
+    }
+
+    /// Builds `select(map, key)`.
+    pub fn select(&mut self, map: TermId, key: TermId) -> TermId {
+        let s = self.bank.sym(SELECT);
+        self.bank.app(s, vec![map, key])
+    }
+
+    /// Builds `update(map, key, value)`.
+    pub fn update(&mut self, map: TermId, key: TermId, value: TermId) -> TermId {
+        let s = self.bank.sym(UPDATE);
+        self.bank.app(s, vec![map, key, value])
+    }
+
+    /// Attempts to prove the task, refuting `hypotheses ∧ ¬goal`.
+    pub fn prove(&mut self, task: &ProofTask) -> Outcome {
+        let start = Instant::now();
+        let mut formulas: Vec<Formula> = Vec::with_capacity(task.hypotheses.len() + 1);
+        for h in &task.hypotheses {
+            formulas.push(h.clone().nnf());
+        }
+        formulas.push(task.goal.clone().negate().nnf());
+        let mut cc = Cc::new();
+        cc.sync(&self.bank);
+        let mut relevant = HashSet::new();
+        for f in &formulas {
+            mark_formula(&self.bank, &mut relevant, f);
+        }
+        let branch = Branch {
+            cc,
+            todo: formulas,
+            splits: Vec::new(),
+            foralls: Vec::new(),
+            done_instances: HashSet::new(),
+            inst_rounds: 0,
+            relevant,
+        };
+        let mut search = Search {
+            solver: self,
+            stats: Stats::default(),
+            limit_hit: None,
+        };
+        let closed = search.close(branch);
+        let stats = search.stats.clone();
+        let elapsed = start.elapsed();
+        match closed {
+            BranchResult::Closed => Outcome::Proved { stats, elapsed },
+            BranchResult::Open(lits) => Outcome::Unknown {
+                reason: search
+                    .limit_hit
+                    .unwrap_or_else(|| "open branch: goal not provable from hypotheses".into()),
+                open_branch: lits,
+                stats,
+                elapsed,
+            },
+        }
+    }
+
+    fn fresh_skolem(&mut self, base: &str) -> TermId {
+        self.skolem_counter += 1;
+        let name = format!("$sk_{}_{}", base, self.skolem_counter);
+        self.bank.app0(&name)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Branch {
+    cc: Cc,
+    todo: Vec<Formula>,
+    splits: Vec<Vec<Formula>>,
+    foralls: Vec<Formula>,
+    done_instances: HashSet<(usize, Vec<TermId>)>,
+    inst_rounds: usize,
+    /// Terms appearing in formulas asserted on *this* branch. The term
+    /// bank is shared between branches, so theory propagation and
+    /// trigger matching must ignore foreign terms (e.g. skolems minted
+    /// by sibling branches) or the search degenerates.
+    relevant: HashSet<TermId>,
+}
+
+/// Adds `t` and all its subterms to the relevant set.
+fn mark_term(bank: &TermBank, relevant: &mut HashSet<TermId>, t: TermId) {
+    if !relevant.insert(t) {
+        return;
+    }
+    if let TermData::App(_, args) = bank.data(t) {
+        for &a in args.clone().iter() {
+            mark_term(bank, relevant, a);
+        }
+    }
+}
+
+/// Adds every term of a formula to the relevant set.
+fn mark_formula(bank: &TermBank, relevant: &mut HashSet<TermId>, f: &Formula) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Eq(a, b) => {
+            mark_term(bank, relevant, *a);
+            mark_term(bank, relevant, *b);
+        }
+        Formula::Holds(t) => mark_term(bank, relevant, *t),
+        Formula::Not(p) => mark_formula(bank, relevant, p),
+        Formula::And(ps) | Formula::Or(ps) => {
+            for p in ps {
+                mark_formula(bank, relevant, p);
+            }
+        }
+        Formula::Implies(p, q) | Formula::Iff(p, q) => {
+            mark_formula(bank, relevant, p);
+            mark_formula(bank, relevant, q);
+        }
+        Formula::Forall { body, .. } | Formula::Exists { body, .. } => {
+            mark_formula(bank, relevant, body);
+        }
+    }
+}
+
+enum BranchResult {
+    Closed,
+    /// Literals describing the open branch.
+    Open(Vec<String>),
+}
+
+struct Search<'a> {
+    solver: &'a mut Solver,
+    stats: Stats,
+    limit_hit: Option<String>,
+}
+
+impl Search<'_> {
+    /// Attempts to close a branch; returns `Closed` if a contradiction
+    /// was derived on every sub-branch.
+    fn close(&mut self, mut branch: Branch) -> BranchResult {
+        loop {
+            if self.limit_hit.is_some() {
+                return BranchResult::Open(vec![]);
+            }
+            // 1. Assert pending formulas into the congruence core.
+            while let Some(f) = branch.todo.pop() {
+                if self.assert_formula(&mut branch, f) {
+                    // conflict
+                    self.stats.branches += 1;
+                    return BranchResult::Closed;
+                }
+            }
+            if branch.cc.in_conflict() {
+                self.stats.branches += 1;
+                return BranchResult::Closed;
+            }
+            // 2. Array theory propagation.
+            match self.propagate_arrays(&mut branch) {
+                ArrayStep::Progress => continue,
+                ArrayStep::Conflict => {
+                    self.stats.branches += 1;
+                    return BranchResult::Closed;
+                }
+                ArrayStep::Split(k1, k2) => {
+                    return self.split(
+                        branch,
+                        vec![Formula::Eq(k1, k2), Formula::ne(k1, k2)],
+                    );
+                }
+                ArrayStep::Quiet => {}
+            }
+            // 3. Boolean case splits.
+            if let Some(pos) = self.pick_split(&mut branch) {
+                let disjuncts = branch.splits.remove(pos);
+                let mut remaining = Vec::new();
+                let mut satisfied = false;
+                for d in disjuncts {
+                    match self.literal_status(&mut branch, &d) {
+                        LitStatus::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        LitStatus::False => {}
+                        LitStatus::Undecided => remaining.push(d),
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match remaining.len() {
+                    0 => {
+                        self.stats.branches += 1;
+                        return BranchResult::Closed;
+                    }
+                    1 => {
+                        branch.todo.push(remaining.pop().expect("len checked"));
+                        continue;
+                    }
+                    _ => return self.split(branch, remaining),
+                }
+            }
+            // 4. Quantifier instantiation.
+            if branch.inst_rounds < self.solver.limits.max_inst_rounds {
+                branch.inst_rounds += 1;
+                let instances = self.instantiate(&mut branch);
+                if !instances.is_empty() {
+                    self.stats.instances += instances.len();
+                    branch.todo.extend(instances);
+                    continue;
+                }
+            }
+            // Nothing more to do: the branch stays open.
+            return BranchResult::Open(self.describe_branch(&mut branch));
+        }
+    }
+
+    /// Splits the branch on the given alternatives; closed iff all close.
+    fn split(&mut self, branch: Branch, alternatives: Vec<Formula>) -> BranchResult {
+        self.stats.splits += 1;
+        if std::env::var_os("COBALT_LOGIC_DEBUG").is_some() && self.stats.splits <= 64 {
+            let parts: Vec<String> = alternatives
+                .iter()
+                .map(|a| a.display(&self.solver.bank))
+                .collect();
+            eprintln!("[split {}] {}", self.stats.splits, parts.join("  |  "));
+        }
+        if self.stats.splits > self.solver.limits.max_splits {
+            self.limit_hit = Some(format!(
+                "case-split limit of {} exceeded",
+                self.solver.limits.max_splits
+            ));
+            return BranchResult::Open(vec![]);
+        }
+        let n = alternatives.len();
+        let mut branch = Some(branch);
+        for (i, alt) in alternatives.into_iter().enumerate() {
+            let mut sub = if i + 1 == n {
+                branch.take().expect("taken once, on the last alternative")
+            } else {
+                branch.as_ref().expect("present until last").clone()
+            };
+            sub.todo.push(alt);
+            let res = self.close(sub);
+            if std::env::var_os("COBALT_LOGIC_DEBUG").is_some() && self.stats.splits <= 64 {
+                eprintln!(
+                    "[alt {i} of split] {}",
+                    match &res {
+                        BranchResult::Closed => "closed",
+                        BranchResult::Open(_) => "open",
+                    }
+                );
+            }
+            match res {
+                BranchResult::Closed => {}
+                open => return open,
+            }
+        }
+        BranchResult::Closed
+    }
+
+    /// Asserts one NNF formula; returns true on immediate conflict.
+    fn assert_formula(&mut self, branch: &mut Branch, f: Formula) -> bool {
+        mark_formula(&self.solver.bank, &mut branch.relevant, &f);
+        match f {
+            Formula::True => false,
+            Formula::False => true,
+            Formula::Eq(a, b) => {
+                branch.cc.sync(&self.solver.bank);
+                branch.cc.merge(a, b, &self.solver.bank);
+                branch.cc.in_conflict()
+            }
+            Formula::Holds(t) => {
+                let tt = self.solver.tt();
+                branch.cc.sync(&self.solver.bank);
+                branch.cc.merge(t, tt, &self.solver.bank);
+                branch.cc.in_conflict()
+            }
+            Formula::Not(inner) => match *inner {
+                Formula::Eq(a, b) => {
+                    branch.cc.sync(&self.solver.bank);
+                    branch.cc.assert_diseq(a, b, &self.solver.bank);
+                    branch.cc.in_conflict()
+                }
+                Formula::Holds(t) => {
+                    let tt = self.solver.tt();
+                    branch.cc.sync(&self.solver.bank);
+                    branch.cc.assert_diseq(t, tt, &self.solver.bank);
+                    branch.cc.in_conflict()
+                }
+                other => {
+                    // NNF guarantees negation only wraps atoms.
+                    branch.todo.push(other.negate().nnf());
+                    false
+                }
+            },
+            Formula::And(ps) => {
+                branch.todo.extend(ps);
+                false
+            }
+            Formula::Or(ps) => {
+                branch.splits.push(ps);
+                false
+            }
+            f @ Formula::Forall { .. } => {
+                branch.foralls.push(f);
+                false
+            }
+            Formula::Exists { vars, body } => {
+                if std::env::var_os("COBALT_LOGIC_DEBUG").is_some() {
+                    eprintln!(
+                        "[skolemize] splits={} foralls={} inst_rounds={}",
+                        branch.splits.len(),
+                        branch.foralls.len(),
+                        branch.inst_rounds
+                    );
+                }
+                let mut map = HashMap::new();
+                for v in vars {
+                    let name = self.solver.bank.sym_name(v).to_string();
+                    let sk = self.solver.fresh_skolem(&name);
+                    map.insert(v, sk);
+                }
+                let inst = body.subst(&mut self.solver.bank, &map);
+                branch.todo.push(inst);
+                false
+            }
+            Formula::Implies(_, _) | Formula::Iff(_, _) => {
+                branch.todo.push(f.nnf());
+                false
+            }
+        }
+    }
+
+    fn literal_status(&mut self, branch: &mut Branch, f: &Formula) -> LitStatus {
+        branch.cc.sync(&self.solver.bank);
+        match f {
+            Formula::True => LitStatus::True,
+            Formula::False => LitStatus::False,
+            Formula::Eq(a, b) => {
+                if branch.cc.are_eq(*a, *b) {
+                    LitStatus::True
+                } else if branch.cc.are_diseq(*a, *b, &self.solver.bank) {
+                    LitStatus::False
+                } else {
+                    LitStatus::Undecided
+                }
+            }
+            Formula::Holds(t) => {
+                let tt = self.solver.tt();
+                branch.cc.sync(&self.solver.bank);
+                if branch.cc.are_eq(*t, tt) {
+                    LitStatus::True
+                } else if branch.cc.are_diseq(*t, tt, &self.solver.bank) {
+                    LitStatus::False
+                } else {
+                    LitStatus::Undecided
+                }
+            }
+            Formula::Not(inner) => match self.literal_status(branch, inner) {
+                LitStatus::True => LitStatus::False,
+                LitStatus::False => LitStatus::True,
+                LitStatus::Undecided => LitStatus::Undecided,
+            },
+            _ => LitStatus::Undecided,
+        }
+    }
+
+    fn pick_split(&mut self, branch: &mut Branch) -> Option<usize> {
+        if branch.splits.is_empty() {
+            None
+        } else {
+            // Prefer the smallest disjunction (cheapest split).
+            let mut best = 0;
+            for i in 1..branch.splits.len() {
+                if branch.splits[i].len() < branch.splits[best].len() {
+                    best = i;
+                }
+            }
+            Some(best)
+        }
+    }
+
+    /// Array theory: for every `select(m, k)` whose map class contains
+    /// an `update(m2, k2, v2)`, resolve by index (dis)equality or
+    /// request a case split.
+    fn propagate_arrays(&mut self, branch: &mut Branch) -> ArrayStep {
+        branch.cc.sync(&self.solver.bank);
+        let select_sym = self.solver.bank.sym(SELECT);
+        let update_sym = self.solver.bank.sym(UPDATE);
+        let n = self.solver.bank.len();
+        let mut selects = Vec::new();
+        let mut updates = Vec::new();
+        for i in 0..n {
+            let t = TermId(i as u32);
+            if !branch.relevant.contains(&t) {
+                continue;
+            }
+            match self.solver.bank.data(t) {
+                TermData::App(f, args) if *f == select_sym && args.len() == 2
+                    && !self.solver.bank.has_var(t) => {
+                        selects.push((t, args[0], args[1]));
+                    }
+                TermData::App(f, args) if *f == update_sym && args.len() == 3
+                    && !self.solver.bank.has_var(t) => {
+                        updates.push((t, args[0], args[1], args[2]));
+                    }
+                _ => {}
+            }
+        }
+        let mut pending_split: Option<(TermId, TermId)> = None;
+        let mut progress = false;
+        for &(s, m, k) in &selects {
+            for &(u, m2, k2, v2) in &updates {
+                if !branch.cc.are_eq(u, m) {
+                    continue;
+                }
+                if branch.cc.are_eq(k, k2) {
+                    if !branch.cc.are_eq(s, v2) {
+                        branch.cc.merge(s, v2, &self.solver.bank);
+                        progress = true;
+                        if branch.cc.in_conflict() {
+                            return ArrayStep::Conflict;
+                        }
+                    }
+                } else if branch.cc.are_diseq(k, k2, &self.solver.bank) {
+                    if self.solver.bank.len() >= self.solver.limits.max_terms {
+                        self.limit_hit = Some("term limit exceeded".into());
+                        return ArrayStep::Quiet;
+                    }
+                    let s2 = self.solver.select(m2, k);
+                    mark_term(&self.solver.bank, &mut branch.relevant, s2);
+                    branch.cc.sync(&self.solver.bank);
+                    if !branch.cc.are_eq(s, s2) {
+                        branch.cc.merge(s, s2, &self.solver.bank);
+                        progress = true;
+                        if branch.cc.in_conflict() {
+                            return ArrayStep::Conflict;
+                        }
+                    }
+                } else if pending_split.is_none() {
+                    pending_split = Some((k, k2));
+                }
+            }
+        }
+        if progress {
+            ArrayStep::Progress
+        } else if let Some((k, k2)) = pending_split {
+            ArrayStep::Split(k, k2)
+        } else {
+            ArrayStep::Quiet
+        }
+    }
+
+    /// Trigger-based instantiation of universal hypotheses.
+    fn instantiate(&mut self, branch: &mut Branch) -> Vec<Formula> {
+        let mut out = Vec::new();
+        let foralls = branch.foralls.clone();
+        for (fi, f) in foralls.iter().enumerate() {
+            let Formula::Forall { vars, triggers, body } = f else {
+                continue;
+            };
+            let bindings = if triggers.is_empty() {
+                self.enumerate_bindings(branch, vars)
+            } else {
+                let mut all = Vec::new();
+                for &trig in triggers {
+                    all.extend(self.match_trigger(branch, trig, vars));
+                }
+                all
+            };
+            for binding in bindings {
+                let key: Vec<TermId> = vars.iter().map(|v| binding[v]).collect();
+                if !branch.done_instances.insert((fi, key)) {
+                    continue;
+                }
+                if self.solver.bank.len() >= self.solver.limits.max_terms {
+                    self.limit_hit = Some("term limit exceeded during instantiation".into());
+                    return out;
+                }
+                let inst = body.subst(&mut self.solver.bank, &binding);
+                out.push(inst);
+            }
+        }
+        out
+    }
+
+    /// For trigger-less single-variable quantifiers: every ground term
+    /// relevant to the branch (capped).
+    fn enumerate_bindings(
+        &mut self,
+        branch: &Branch,
+        vars: &[Sym],
+    ) -> Vec<HashMap<Sym, TermId>> {
+        if vars.len() != 1 {
+            return Vec::new();
+        }
+        const ENUM_CAP: usize = 512;
+        let mut relevant: Vec<TermId> = branch.relevant.iter().copied().collect();
+        relevant.sort_unstable();
+        let mut out = Vec::new();
+        for t in relevant.into_iter().take(ENUM_CAP) {
+            if matches!(self.solver.bank.data(t), TermData::Var(_)) || self.solver.bank.has_var(t)
+            {
+                continue;
+            }
+            let mut m = HashMap::new();
+            m.insert(vars[0], t);
+            out.push(m);
+        }
+        out
+    }
+
+    /// Matches one trigger pattern against the branch's ground terms.
+    fn match_trigger(
+        &mut self,
+        branch: &mut Branch,
+        trigger: TermId,
+        vars: &[Sym],
+    ) -> Vec<HashMap<Sym, TermId>> {
+        let mut out = Vec::new();
+        let mut relevant: Vec<TermId> = branch.relevant.iter().copied().collect();
+        relevant.sort_unstable();
+        for t in relevant {
+            if self.solver.bank.has_var(t) {
+                continue;
+            }
+            let mut binding = HashMap::new();
+            if self.match_pattern(trigger, t, &mut binding)
+                && vars.iter().all(|v| binding.contains_key(v))
+            {
+                out.push(binding);
+            }
+        }
+        out
+    }
+
+    fn match_pattern(
+        &self,
+        pat: TermId,
+        t: TermId,
+        binding: &mut HashMap<Sym, TermId>,
+    ) -> bool {
+        match self.solver.bank.data(pat).clone() {
+            TermData::Var(v) => match binding.get(&v) {
+                Some(&prev) => prev == t,
+                None => {
+                    binding.insert(v, t);
+                    true
+                }
+            },
+            TermData::Int(n) => matches!(self.solver.bank.data(t), TermData::Int(m) if *m == n),
+            TermData::App(f, pargs) => match self.solver.bank.data(t).clone() {
+                TermData::App(g, targs) if g == f && targs.len() == pargs.len() => pargs
+                    .iter()
+                    .zip(targs.iter())
+                    .all(|(&p, &a)| self.match_pattern(p, a, binding)),
+                _ => false,
+            },
+        }
+    }
+
+    /// Renders the open branch as a counterexample context (the paper's
+    /// §7 error-reporting artifact): the equivalence classes the branch
+    /// committed to among named constants, plus whatever remained
+    /// undecided or unsaturated.
+    fn describe_branch(&mut self, branch: &mut Branch) -> Vec<String> {
+        let mut out = Vec::new();
+        // Merged classes among the branch's named constants.
+        let mut named: Vec<TermId> = branch
+            .relevant
+            .iter()
+            .copied()
+            .filter(|&t| matches!(self.solver.bank.data(t), TermData::App(_, args) if args.is_empty()))
+            .collect();
+        named.sort_unstable();
+        let mut classes: HashMap<TermId, Vec<TermId>> = HashMap::new();
+        for t in named {
+            let r = branch.cc.find(t);
+            classes.entry(r).or_default().push(t);
+        }
+        let mut class_lines: Vec<String> = classes
+            .values()
+            .filter(|members| members.len() > 1)
+            .map(|members| {
+                let names: Vec<String> = members
+                    .iter()
+                    .map(|&t| self.solver.bank.display(t))
+                    .collect();
+                format!("assumed equal: {}", names.join(" = "))
+            })
+            .collect();
+        class_lines.sort();
+        out.extend(class_lines.into_iter().take(6));
+        for group in &branch.splits {
+            let parts: Vec<String> = group
+                .iter()
+                .map(|g| g.display(&self.solver.bank))
+                .collect();
+            out.push(format!("undecided: (or {})", parts.join(" ")));
+        }
+        for f in &branch.foralls {
+            out.push(format!("unsaturated: {}", f.display(&self.solver.bank)));
+        }
+        out.truncate(16);
+        out
+    }
+}
+
+enum LitStatus {
+    True,
+    False,
+    Undecided,
+}
+
+enum ArrayStep {
+    Quiet,
+    Progress,
+    Conflict,
+    Split(TermId, TermId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prove(solver: &mut Solver, hyps: Vec<Formula>, goal: Formula) -> bool {
+        solver
+            .prove(&ProofTask {
+                hypotheses: hyps,
+                goal,
+            })
+            .is_proved()
+    }
+
+    #[test]
+    fn euf_transitivity_and_congruence() {
+        let mut s = Solver::new();
+        let f = s.bank.sym("f");
+        let (x, y, z) = (s.bank.app0("x"), s.bank.app0("y"), s.bank.app0("z"));
+        let fx = s.bank.app(f, vec![x]);
+        let fz = s.bank.app(f, vec![z]);
+        assert!(prove(
+            &mut s,
+            vec![Formula::Eq(x, y), Formula::Eq(y, z)],
+            Formula::Eq(fx, fz)
+        ));
+    }
+
+    #[test]
+    fn unprovable_goal_is_unknown() {
+        let mut s = Solver::new();
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        let out = s.prove(&ProofTask {
+            hypotheses: vec![],
+            goal: Formula::Eq(x, y),
+        });
+        assert!(!out.is_proved());
+        if let Outcome::Unknown { reason, .. } = out {
+            assert!(reason.contains("open branch"), "{reason}");
+        }
+    }
+
+    #[test]
+    fn modus_ponens_via_disjunction() {
+        let mut s = Solver::new();
+        let p = s.bank.app0("p");
+        let q = s.bank.app0("q");
+        let hyp1 = Formula::implies(Formula::Holds(p), Formula::Holds(q));
+        let hyp2 = Formula::Holds(p);
+        assert!(prove(&mut s, vec![hyp1, hyp2], Formula::Holds(q)));
+    }
+
+    #[test]
+    fn case_split_on_disjunction() {
+        let mut s = Solver::new();
+        let (a, b, c) = (s.bank.app0("a"), s.bank.app0("b"), s.bank.app0("c"));
+        // (a=c ∨ b=c) ∧ a=b ⊨ b=c
+        let hyp = Formula::or([Formula::Eq(a, c), Formula::Eq(b, c)]);
+        assert!(prove(
+            &mut s,
+            vec![hyp, Formula::Eq(a, b)],
+            Formula::Eq(b, c)
+        ));
+    }
+
+    #[test]
+    fn read_over_write_same_key() {
+        let mut s = Solver::new();
+        let m = s.bank.app0("m");
+        let k = s.bank.app0("k");
+        let v = s.bank.app0("v");
+        let upd = s.update(m, k, v);
+        let sel = s.select(upd, k);
+        assert!(prove(&mut s, vec![], Formula::Eq(sel, v)));
+    }
+
+    #[test]
+    fn read_over_write_distinct_key() {
+        let mut s = Solver::new();
+        let m = s.bank.app0("m");
+        let (k1, k2) = (s.bank.app0("k1"), s.bank.app0("k2"));
+        let v = s.bank.app0("v");
+        let upd = s.update(m, k1, v);
+        let sel = s.select(upd, k2);
+        let sel0 = s.select(m, k2);
+        assert!(prove(
+            &mut s,
+            vec![Formula::ne(k1, k2)],
+            Formula::Eq(sel, sel0)
+        ));
+    }
+
+    #[test]
+    fn read_over_write_requires_case_split() {
+        let mut s = Solver::new();
+        let m = s.bank.app0("m");
+        let (k1, k2) = (s.bank.app0("k1"), s.bank.app0("k2"));
+        let v = s.bank.app0("v");
+        let upd = s.update(m, k1, v);
+        let sel = s.select(upd, k2);
+        let sel0 = s.select(m, k2);
+        // Without knowing k1 vs k2: select(update(m,k1,v),k2) is either v
+        // (if k1=k2) or select(m,k2). Prove the disjunction.
+        let goal = Formula::or([Formula::Eq(sel, v), Formula::Eq(sel, sel0)]);
+        assert!(prove(&mut s, vec![], goal));
+    }
+
+    #[test]
+    fn nested_updates() {
+        let mut s = Solver::new();
+        let m = s.bank.app0("m");
+        let (k1, k2) = (s.bank.app0("k1"), s.bank.app0("k2"));
+        let (v1, v2) = (s.bank.app0("v1"), s.bank.app0("v2"));
+        let u1 = s.update(m, k1, v1);
+        let u2 = s.update(u1, k2, v2);
+        let sel = s.select(u2, k1);
+        // k1 ≠ k2 ⊨ select(update(update(m,k1,v1),k2,v2), k1) = v1
+        assert!(prove(
+            &mut s,
+            vec![Formula::ne(k1, k2)],
+            Formula::Eq(sel, v1)
+        ));
+    }
+
+    #[test]
+    fn constructors_discriminate() {
+        let mut s = Solver::new();
+        let skip = s.bank.constructor("skip");
+        let decl = s.bank.constructor("decl");
+        let x = s.bank.app0("x");
+        let sk = s.bank.app(skip, vec![]);
+        let dc = s.bank.app(decl, vec![x]);
+        let cur = s.bank.app0("cur");
+        // cur = skip ⊨ ¬(cur = decl(x))
+        assert!(prove(
+            &mut s,
+            vec![Formula::Eq(cur, sk)],
+            Formula::ne(cur, dc)
+        ));
+    }
+
+    #[test]
+    fn constructor_injectivity_proves_arg_equality() {
+        let mut s = Solver::new();
+        let c = s.bank.constructor("intval");
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        let cx = s.bank.app(c, vec![x]);
+        let cy = s.bank.app(c, vec![y]);
+        assert!(prove(
+            &mut s,
+            vec![Formula::Eq(cx, cy)],
+            Formula::Eq(x, y)
+        ));
+    }
+
+    #[test]
+    fn distinct_int_literals() {
+        let mut s = Solver::new();
+        let zero = s.bank.int(0);
+        let one = s.bank.int(1);
+        assert!(prove(&mut s, vec![], Formula::ne(zero, one)));
+    }
+
+    #[test]
+    fn skolemization_of_universal_goal() {
+        let mut s = Solver::new();
+        // hyp: ∀v. f(v) = a  ⊨  goal: ∀w. f(w) = a
+        let fsym = s.bank.sym("f");
+        let a = s.bank.app0("a");
+        let vsym = s.bank.sym("V");
+        let v = s.bank.var("V");
+        let fv = s.bank.app(fsym, vec![v]);
+        let hyp = Formula::Forall {
+            vars: vec![vsym],
+            triggers: vec![fv],
+            body: Box::new(Formula::Eq(fv, a)),
+        };
+        let wsym = s.bank.sym("W");
+        let w = s.bank.var("W");
+        let fw = s.bank.app(fsym, vec![w]);
+        let goal = Formula::Forall {
+            vars: vec![wsym],
+            triggers: vec![],
+            body: Box::new(Formula::Eq(fw, a)),
+        };
+        assert!(prove(&mut s, vec![hyp], goal));
+    }
+
+    #[test]
+    fn instantiation_with_guard() {
+        let mut s = Solver::new();
+        // ∀v. v ≠ k ⇒ select(m, v) = select(n, v); c ≠ k
+        // ⊨ select(m, c) = select(n, c)
+        let (m, n, k, c) = (
+            s.bank.app0("m"),
+            s.bank.app0("n"),
+            s.bank.app0("k"),
+            s.bank.app0("c"),
+        );
+        let vsym = s.bank.sym("V");
+        let v = s.bank.var("V");
+        let sel_mv = s.select(m, v);
+        let sel_nv = s.select(n, v);
+        let hyp = Formula::Forall {
+            vars: vec![vsym],
+            triggers: vec![sel_mv],
+            body: Box::new(Formula::implies(
+                Formula::ne(v, k),
+                Formula::Eq(sel_mv, sel_nv),
+            )),
+        };
+        let sel_mc = s.select(m, c);
+        let sel_nc = s.select(n, c);
+        assert!(prove(
+            &mut s,
+            vec![hyp, Formula::ne(c, k)],
+            Formula::Eq(sel_mc, sel_nc)
+        ));
+    }
+
+    #[test]
+    fn enumeration_fallback_for_triggerless_forall() {
+        let mut s = Solver::new();
+        let p = s.bank.sym("p");
+        let a = s.bank.app0("a");
+        let vsym = s.bank.sym("V");
+        let v = s.bank.var("V");
+        let pv = s.bank.app(p, vec![v]);
+        let hyp = Formula::Forall {
+            vars: vec![vsym],
+            triggers: vec![],
+            body: Box::new(Formula::Holds(pv)),
+        };
+        let pa = s.bank.app(p, vec![a]);
+        assert!(prove(&mut s, vec![hyp], Formula::Holds(pa)));
+    }
+
+    #[test]
+    fn split_limit_reports_unknown() {
+        let mut s = Solver::with_limits(Limits {
+            max_splits: 1,
+            ..Limits::default()
+        });
+        let atoms: Vec<TermId> = (0..6).map(|i| s.bank.app0(&format!("a{i}"))).collect();
+        let target = s.bank.app0("t");
+        let hyps: Vec<Formula> = atoms
+            .chunks(2)
+            .map(|c| Formula::or([Formula::Eq(c[0], target), Formula::Eq(c[1], target)]))
+            .collect();
+        let impossible = Formula::Eq(atoms[0], atoms[1]);
+        let out = s.prove(&ProofTask {
+            hypotheses: hyps,
+            goal: impossible,
+        });
+        assert!(!out.is_proved());
+    }
+
+    #[test]
+    fn iff_in_hypotheses() {
+        let mut s = Solver::new();
+        let p = s.bank.app0("p");
+        let q = s.bank.app0("q");
+        let hyp = Formula::Iff(Box::new(Formula::Holds(p)), Box::new(Formula::Holds(q)));
+        assert!(prove(
+            &mut s,
+            vec![hyp, Formula::Holds(q)],
+            Formula::Holds(p)
+        ));
+    }
+
+    #[test]
+    fn proof_by_contradiction_with_negated_predicate() {
+        let mut s = Solver::new();
+        let p = s.bank.app0("p");
+        assert!(prove(
+            &mut s,
+            vec![Formula::Holds(p).negate(), Formula::Holds(p)],
+            Formula::False
+        ));
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let mut s = Solver::new();
+        let m = s.bank.app0("m");
+        let (k1, k2) = (s.bank.app0("k1"), s.bank.app0("k2"));
+        let v = s.bank.app0("v");
+        let upd = s.update(m, k1, v);
+        let sel = s.select(upd, k2);
+        let sel0 = s.select(m, k2);
+        let goal = Formula::or([Formula::Eq(sel, v), Formula::Eq(sel, sel0)]);
+        let out = s.prove(&ProofTask {
+            hypotheses: vec![],
+            goal,
+        });
+        match out {
+            Outcome::Proved { stats, .. } => {
+                assert!(stats.branches >= 1);
+            }
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+}

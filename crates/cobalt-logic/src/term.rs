@@ -1,0 +1,273 @@
+//! Hash-consed first-order terms.
+//!
+//! All terms live in a [`TermBank`], which interns structurally equal
+//! terms to the same [`TermId`]. Function symbols are interned strings;
+//! a symbol may be declared a *constructor*, in which case the solver
+//! treats distinct constructors as disjoint and every constructor as
+//! injective (the free-datatype theory used to model IL statements,
+//! expressions, and values).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned function or variable symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+/// An interned term; indexes into its [`TermBank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub(crate) u32);
+
+impl TermId {
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The structure of a term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermData {
+    /// A function application `f(t₁, …, tₙ)`; constants are nullary.
+    App(Sym, Vec<TermId>),
+    /// An integer literal. Distinct literals are distinct values.
+    Int(i64),
+    /// A free variable, used in quantified formulas and trigger
+    /// patterns. Variables never appear in ground assertions.
+    Var(Sym),
+}
+
+/// The arena of interned symbols and terms.
+///
+/// # Examples
+///
+/// ```
+/// use cobalt_logic::TermBank;
+/// let mut bank = TermBank::new();
+/// let f = bank.sym("f");
+/// let a = bank.app0("a");
+/// let fa1 = bank.app(f, vec![a]);
+/// let fa2 = bank.app(f, vec![a]);
+/// assert_eq!(fa1, fa2); // hash-consed
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TermBank {
+    sym_names: Vec<String>,
+    sym_memo: HashMap<String, Sym>,
+    terms: Vec<TermData>,
+    term_memo: HashMap<TermData, TermId>,
+    constructors: Vec<bool>,
+}
+
+impl TermBank {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        TermBank::default()
+    }
+
+    /// Interns a symbol name.
+    pub fn sym(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.sym_memo.get(name) {
+            return s;
+        }
+        let s = Sym(self.sym_names.len() as u32);
+        self.sym_names.push(name.to_string());
+        self.sym_memo.insert(name.to_string(), s);
+        self.constructors.push(false);
+        s
+    }
+
+    /// Interns a symbol and marks it as a constructor: the solver treats
+    /// applications of distinct constructors as never equal, and every
+    /// constructor as injective.
+    pub fn constructor(&mut self, name: &str) -> Sym {
+        let s = self.sym(name);
+        self.constructors[s.0 as usize] = true;
+        s
+    }
+
+    /// Whether `s` was declared a constructor.
+    pub fn is_constructor(&self, s: Sym) -> bool {
+        self.constructors[s.0 as usize]
+    }
+
+    /// The name of a symbol.
+    pub fn sym_name(&self, s: Sym) -> &str {
+        &self.sym_names[s.0 as usize]
+    }
+
+    fn intern(&mut self, data: TermData) -> TermId {
+        if let Some(&t) = self.term_memo.get(&data) {
+            return t;
+        }
+        let t = TermId(self.terms.len() as u32);
+        self.terms.push(data.clone());
+        self.term_memo.insert(data, t);
+        t
+    }
+
+    /// Interns a function application.
+    pub fn app(&mut self, f: Sym, args: Vec<TermId>) -> TermId {
+        self.intern(TermData::App(f, args))
+    }
+
+    /// Interns a nullary application (a constant) by name.
+    pub fn app0(&mut self, name: &str) -> TermId {
+        let f = self.sym(name);
+        self.app(f, Vec::new())
+    }
+
+    /// Interns an integer literal.
+    pub fn int(&mut self, n: i64) -> TermId {
+        self.intern(TermData::Int(n))
+    }
+
+    /// Interns a free variable by name.
+    pub fn var(&mut self, name: &str) -> TermId {
+        let s = self.sym(name);
+        self.intern(TermData::Var(s))
+    }
+
+    /// The structure of a term.
+    pub fn data(&self, t: TermId) -> &TermData {
+        &self.terms[t.idx()]
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the bank contains no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether `t` contains any [`TermData::Var`] leaf.
+    pub fn has_var(&self, t: TermId) -> bool {
+        match self.data(t) {
+            TermData::Var(_) => true,
+            TermData::Int(_) => false,
+            TermData::App(_, args) => {
+                let args = args.clone();
+                args.iter().any(|&a| self.has_var(a))
+            }
+        }
+    }
+
+    /// Capture-free substitution of variables by terms.
+    pub fn subst(&mut self, t: TermId, map: &HashMap<Sym, TermId>) -> TermId {
+        match self.data(t).clone() {
+            TermData::Var(v) => map.get(&v).copied().unwrap_or(t),
+            TermData::Int(_) => t,
+            TermData::App(f, args) => {
+                let new_args: Vec<TermId> = args.iter().map(|&a| self.subst(a, map)).collect();
+                if new_args == args {
+                    t
+                } else {
+                    self.app(f, new_args)
+                }
+            }
+        }
+    }
+
+    /// Renders a term as an S-expression, for diagnostics.
+    pub fn display(&self, t: TermId) -> String {
+        let mut out = String::new();
+        self.write_term(t, &mut out);
+        out
+    }
+
+    fn write_term(&self, t: TermId, out: &mut String) {
+        use fmt::Write as _;
+        match self.data(t) {
+            TermData::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            TermData::Var(v) => {
+                let _ = write!(out, "?{}", self.sym_name(*v));
+            }
+            TermData::App(f, args) => {
+                if args.is_empty() {
+                    let _ = write!(out, "{}", self.sym_name(*f));
+                } else {
+                    let _ = write!(out, "({}", self.sym_name(*f));
+                    for &a in args.clone().iter() {
+                        out.push(' ');
+                        self.write_term(a, out);
+                    }
+                    out.push(')');
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut b = TermBank::new();
+        let f = b.sym("f");
+        let x = b.app0("x");
+        let y = b.app0("y");
+        let t1 = b.app(f, vec![x, y]);
+        let t2 = b.app(f, vec![x, y]);
+        let t3 = b.app(f, vec![y, x]);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+        assert_eq!(b.int(5), b.int(5));
+        assert_ne!(b.int(5), b.int(6));
+    }
+
+    #[test]
+    fn constructor_flag() {
+        let mut b = TermBank::new();
+        let c = b.constructor("cons");
+        let f = b.sym("f");
+        assert!(b.is_constructor(c));
+        assert!(!b.is_constructor(f));
+        // Re-interning the same name preserves identity.
+        assert_eq!(b.sym("cons"), c);
+    }
+
+    #[test]
+    fn substitution() {
+        let mut b = TermBank::new();
+        let f = b.sym("f");
+        let v = b.var("X");
+        let a = b.app0("a");
+        let t = b.app(f, vec![v, a]);
+        let vsym = b.sym("X");
+        let mut map = HashMap::new();
+        map.insert(vsym, a);
+        let t2 = b.subst(t, &map);
+        assert_eq!(b.display(t2), "(f a a)");
+        // Substituting a variable not in the map is the identity.
+        let w = b.var("Y");
+        assert_eq!(b.subst(w, &map), w);
+    }
+
+    #[test]
+    fn has_var_detection() {
+        let mut b = TermBank::new();
+        let f = b.sym("f");
+        let v = b.var("X");
+        let a = b.app0("a");
+        let t = b.app(f, vec![a, v]);
+        let g = b.app(f, vec![a, a]);
+        assert!(b.has_var(t));
+        assert!(!b.has_var(g));
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut b = TermBank::new();
+        let sel = b.sym("select");
+        let m = b.app0("m");
+        let k = b.int(3);
+        let t = b.app(sel, vec![m, k]);
+        assert_eq!(b.display(t), "(select m 3)");
+    }
+}

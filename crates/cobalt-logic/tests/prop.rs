@@ -1,0 +1,176 @@
+//! Property tests for the prover against independent oracles.
+//!
+//! Soundness is the property that matters most — a prover that "proves"
+//! invalid obligations would silently certify unsound optimizations —
+//! so every generator below builds problems whose validity is decided
+//! by an oracle that shares no code with the solver: a plain union-find
+//! for equality reasoning, concrete map evaluation for arrays, and
+//! truth-table enumeration for propositional structure.
+
+use cobalt_logic::{Formula, ProofTask, Solver};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Equality closure over constants, oracle: naive union-find.
+// ---------------------------------------------------------------------
+
+fn uf_find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        x = parent[x];
+    }
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn equality_reasoning_matches_union_find(
+        eqs in proptest::collection::vec((0usize..6, 0usize..6), 0..8),
+        goal in (0usize..6, 0usize..6),
+    ) {
+        // Oracle.
+        let mut parent: Vec<usize> = (0..6).collect();
+        for &(a, b) in &eqs {
+            let (ra, rb) = (uf_find(&mut parent, a), uf_find(&mut parent, b));
+            parent[ra] = rb;
+        }
+        let expected = uf_find(&mut parent, goal.0) == uf_find(&mut parent, goal.1);
+
+        // Prover.
+        let mut s = Solver::new();
+        let consts: Vec<_> = (0..6).map(|i| s.bank.app0(&format!("c{i}"))).collect();
+        let hyps: Vec<Formula> = eqs
+            .iter()
+            .map(|&(a, b)| Formula::Eq(consts[a], consts[b]))
+            .collect();
+        let out = s.prove(&ProofTask {
+            hypotheses: hyps,
+            goal: Formula::Eq(consts[goal.0], consts[goal.1]),
+        });
+        // Completeness: implied equalities are proved. Soundness: a
+        // non-implied equality has a countermodel (distinct values per
+        // class) and must NOT be proved.
+        prop_assert_eq!(out.is_proved(), expected);
+    }
+
+    #[test]
+    fn congruence_is_sound(
+        eqs in proptest::collection::vec((0usize..4, 0usize..4), 0..5),
+        probe in (0usize..4, 0usize..4),
+    ) {
+        // Oracle on f-applications: f(a) = f(b) iff a ~ b (freeness).
+        let mut parent: Vec<usize> = (0..4).collect();
+        for &(a, b) in &eqs {
+            let (ra, rb) = (uf_find(&mut parent, a), uf_find(&mut parent, b));
+            parent[ra] = rb;
+        }
+        let expected = uf_find(&mut parent, probe.0) == uf_find(&mut parent, probe.1);
+
+        let mut s = Solver::new();
+        let f = s.bank.sym("f");
+        let consts: Vec<_> = (0..4).map(|i| s.bank.app0(&format!("c{i}"))).collect();
+        let apps: Vec<_> = consts.iter().map(|&c| s.bank.app(f, vec![c])).collect();
+        let hyps: Vec<Formula> = eqs
+            .iter()
+            .map(|&(a, b)| Formula::Eq(consts[a], consts[b]))
+            .collect();
+        let out = s.prove(&ProofTask {
+            hypotheses: hyps,
+            goal: Formula::Eq(apps[probe.0], apps[probe.1]),
+        });
+        // f(a) = f(b) is implied exactly when a ~ b for a free f.
+        prop_assert_eq!(out.is_proved(), expected);
+    }
+
+    // -----------------------------------------------------------------
+    // Arrays with concrete integer keys, oracle: a BTreeMap.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn array_reads_match_concrete_maps(
+        writes in proptest::collection::vec((0i64..5, 0i64..100), 1..8),
+        probe in 0i64..5,
+        corrupt in proptest::bool::ANY,
+    ) {
+        use std::collections::BTreeMap;
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for &(k, v) in &writes {
+            model.insert(k, v);
+        }
+        let Some(&expected) = model.get(&probe) else {
+            // Reading an unwritten key yields the base map's value;
+            // nothing to check.
+            return Ok(());
+        };
+
+        let mut s = Solver::new();
+        let base = s.bank.app0("m0");
+        let mut m = base;
+        for &(k, v) in &writes {
+            let kt = s.bank.int(k);
+            let vt = s.bank.int(v);
+            m = s.update(m, kt, vt);
+        }
+        let probe_t = s.bank.int(probe);
+        let read = s.select(m, probe_t);
+        let claim = if corrupt { expected + 1 } else { expected };
+        let claim_t = s.bank.int(claim);
+        let out = s.prove(&ProofTask {
+            hypotheses: vec![],
+            goal: Formula::Eq(read, claim_t),
+        });
+        prop_assert_eq!(out.is_proved(), !corrupt);
+    }
+
+    // -----------------------------------------------------------------
+    // Propositional structure, oracle: truth tables.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn propositional_implication_matches_truth_tables(
+        clauses in proptest::collection::vec(
+            proptest::collection::vec((0usize..4, proptest::bool::ANY), 1..3),
+            0..4,
+        ),
+        goal_atom in 0usize..4,
+        goal_neg in proptest::bool::ANY,
+    ) {
+        // Oracle: hyps ⊨ goal iff every assignment satisfying all
+        // clauses satisfies the goal literal.
+        let eval_lit = |assign: usize, (atom, neg): (usize, bool)| -> bool {
+            let v = assign & (1 << atom) != 0;
+            if neg { !v } else { v }
+        };
+        let mut expected = true;
+        for assign in 0..16usize {
+            let hyps_hold = clauses
+                .iter()
+                .all(|cl| cl.iter().any(|&l| eval_lit(assign, l)));
+            if hyps_hold && !eval_lit(assign, (goal_atom, goal_neg)) {
+                expected = false;
+                break;
+            }
+        }
+
+        let mut s = Solver::new();
+        let atoms: Vec<_> = (0..4).map(|i| s.bank.app0(&format!("p{i}"))).collect();
+        let lit = |(atom, neg): (usize, bool)| -> Formula {
+            let f = Formula::Holds(atoms[atom]);
+            if neg {
+                f.negate()
+            } else {
+                f
+            }
+        };
+        let hyps: Vec<Formula> = clauses
+            .iter()
+            .map(|cl| Formula::or(cl.iter().map(|&l| lit(l))))
+            .collect();
+        let out = s.prove(&ProofTask {
+            hypotheses: hyps,
+            goal: lit((goal_atom, goal_neg)),
+        });
+        prop_assert_eq!(out.is_proved(), expected, "clauses {:?}", clauses);
+    }
+}

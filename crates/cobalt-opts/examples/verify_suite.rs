@@ -1,0 +1,70 @@
+//! Verify every optimization and analysis in the suite, printing a
+//! per-obligation summary — the dry run for experiment E1.
+use cobalt_dsl::LabelEnv;
+use cobalt_verify::{SemanticMeanings, Verifier};
+
+fn main() {
+    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
+    let mut all_ok = true;
+    for analysis in cobalt_opts::all_analyses() {
+        let start = std::time::Instant::now();
+        match verifier.verify_analysis(&analysis) {
+            Ok(report) => {
+                println!("{} ({:?})", report.summary(), start.elapsed());
+                if !report.all_proved() {
+                    all_ok = false;
+                    for o in &report.outcomes {
+                        if !o.proved {
+                            println!("  FAILED {}: {}", o.id, truncate(&o.detail));
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                all_ok = false;
+                println!("{}: ENCODING ERROR: {e}", analysis.name);
+            }
+        }
+    }
+    for opt in cobalt_opts::all_optimizations() {
+        let start = std::time::Instant::now();
+        match verifier.verify_optimization(&opt) {
+            Ok(report) => {
+                println!("{} ({:?})", report.summary(), start.elapsed());
+                if !report.all_proved() {
+                    all_ok = false;
+                    for o in &report.outcomes {
+                        if !o.proved {
+                            println!("  FAILED {}: {}", o.id, truncate(&o.detail));
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                all_ok = false;
+                println!("{}: ENCODING ERROR: {e}", opt.name);
+            }
+        }
+    }
+    for opt in cobalt_opts::buggy_optimizations() {
+        match verifier.verify_optimization(&opt) {
+            Ok(report) => {
+                println!(
+                    "{} — expected to FAIL: {}",
+                    report.summary(),
+                    if report.all_proved() { "UNEXPECTEDLY PROVED (BAD)" } else { "correctly rejected" }
+                );
+                if report.all_proved() {
+                    all_ok = false;
+                }
+            }
+            Err(e) => println!("{}: encoding error: {e}", opt.name),
+        }
+    }
+    println!("overall: {}", if all_ok { "OK" } else { "PROBLEMS" });
+}
+
+fn truncate(s: &str) -> String {
+    let t: String = s.chars().take(220).collect();
+    t
+}

@@ -1,0 +1,141 @@
+//! Deliberately unsound optimization variants, reproducing the
+//! debugging story of paper §6.
+//!
+//! The initial version of the authors' redundant-load elimination
+//! "precluded pointer stores from the witnessing region, to ensure that
+//! the value of `*X` was not modified. However, a failed soundness
+//! proof made us realize that even a direct assignment `Y := …` can
+//! change the value of `*X`, because `X` could point to `Y`."
+//!
+//! [`load_elim_no_alias`] is that buggy version: its region guard
+//! excludes pointer stores and calls but allows arbitrary direct
+//! assignments. The checker rejects it (see the `unsound_rejected`
+//! integration test), and the differential tests exhibit a concrete
+//! program it miscompiles.
+
+use cobalt_dsl::{
+    Direction, ExprPat, ForwardWitness, Guard, GuardSpec, LhsPat, Optimization,
+    ProcPat, RegionGuard, StmtPat, TransformPattern, VarPat, Witness,
+};
+
+fn var(p: &str) -> VarPat {
+    VarPat::pat(p)
+}
+
+/// "No pointer store, no call, no redefinition of `X` or `P`" — the
+/// plausible-but-wrong innocuousness condition: it misses direct
+/// assignments to variables `*P` may alias.
+fn no_store_no_call_no_def() -> Guard {
+    Guard::and([
+        // Not a pointer store.
+        Guard::Stmt(StmtPat::Assign(
+            LhsPat::Deref(var("$Q")),
+            ExprPat::Any,
+        ))
+        .negate(),
+        // Not a call.
+        Guard::Stmt(StmtPat::Call {
+            dst: var("$D"),
+            proc: ProcPat::Pat("$F".into()),
+            arg: cobalt_dsl::BasePat::Var(var("$Z")),
+        })
+        .negate(),
+        Guard::Stmt(StmtPat::Call {
+            dst: var("$D"),
+            proc: ProcPat::Pat("$F".into()),
+            arg: cobalt_dsl::BasePat::Const(cobalt_dsl::ConstPat::pat("$C")),
+        })
+        .negate(),
+        // X and P keep their values (syntactically).
+        Guard::SyntacticDef(var("X")).negate(),
+        Guard::SyntacticDef(var("P")).negate(),
+    ])
+}
+
+/// The unsound redundant-load elimination of paper §6:
+///
+/// ```text
+/// stmt(X := *P)
+/// followed by ⟨no pointer stores, no calls, no defs of X or P⟩
+/// until Y := *P ⇒ Y := X
+/// with witness η(X) = η(*P)
+/// ```
+///
+/// Compare with the sound `cobalt_opts::load_elim`, whose region uses
+/// `unchanged(*P)` and therefore accounts for aliased direct
+/// assignments via taint information.
+pub fn load_elim_no_alias() -> Optimization {
+    let load = || ExprPat::Deref(var("P"));
+    Optimization::new(
+        "buggy_load_elim_no_alias",
+        TransformPattern {
+            direction: Direction::Forward,
+            guard: GuardSpec::Region(RegionGuard {
+                psi1: Guard::Stmt(StmtPat::Assign(LhsPat::Var(var("X")), load())),
+                psi2: no_store_no_call_no_def(),
+            }),
+            from: StmtPat::Assign(LhsPat::Var(var("Y")), load()),
+            to: StmtPat::Assign(
+                LhsPat::Var(var("Y")),
+                ExprPat::Base(cobalt_dsl::BasePat::Var(var("X"))),
+            ),
+            where_clause: Guard::True,
+            witness: Witness::Forward(ForwardWitness::VarEqExpr(var("X"), load())),
+        },
+    )
+}
+
+/// A program the buggy optimization miscompiles: `p` points to `y`, and
+/// the direct assignment `y := 9` between the two loads changes `*p`.
+///
+/// Running the original returns 9; after `load_elim_no_alias` rewrites
+/// the second load to `b := a`, it returns 7.
+pub fn counterexample_program() -> cobalt_il::Program {
+    cobalt_il::parse_program(COUNTEREXAMPLE_SRC).expect("counterexample program parses")
+}
+
+/// Source text of [`counterexample_program`].
+pub const COUNTEREXAMPLE_SRC: &str = "proc main(x) {
+    decl y;
+    decl p;
+    decl a;
+    decl b;
+    p := &y;
+    y := 7;
+    a := *p;
+    y := 9;
+    b := *p;
+    return b;
+}";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobalt_dsl::LabelEnv;
+    use cobalt_engine::{AnalyzedProc, Engine};
+    use cobalt_il::{Interp, Value};
+
+    #[test]
+    fn buggy_optimization_changes_behaviour() {
+        let prog = counterexample_program();
+        assert_eq!(Interp::new(&prog).run(0).unwrap(), Value::Int(9));
+
+        let engine = Engine::new(LabelEnv::standard());
+        let ap = AnalyzedProc::new(prog.main().unwrap().clone()).unwrap();
+        let (bad, applied) = engine.apply(&ap, &load_elim_no_alias()).unwrap();
+        assert_eq!(applied.len(), 1, "buggy opt should fire");
+        assert_eq!(bad.stmts[8].to_string(), "b := a");
+        let bad_prog = cobalt_il::Program::new(vec![bad]);
+        // Miscompiled: returns the stale value.
+        assert_eq!(Interp::new(&bad_prog).run(0).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn sound_load_elim_declines_the_counterexample() {
+        let prog = counterexample_program();
+        let engine = Engine::new(LabelEnv::standard());
+        let ap = AnalyzedProc::new(prog.main().unwrap().clone()).unwrap();
+        let (_, applied) = engine.apply(&ap, &crate::load_elim()).unwrap();
+        assert!(applied.is_empty());
+    }
+}

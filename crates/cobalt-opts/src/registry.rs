@@ -1,0 +1,122 @@
+//! The registry of the optimization suite — the paper's "dozen Cobalt
+//! optimizations and analyses" (§5.1), plus the deliberately buggy
+//! variants of §6.
+
+use cobalt_dsl::{Optimization, PureAnalysis};
+
+/// Every sound optimization in the suite — the registry the checker
+/// proves (experiment E1). For *running* the suite, prefer
+/// [`default_pipeline`]: PRE's code-duplication pass is staged through
+/// [`pre_pipeline`] exactly as paper §2.3 prescribes (round-robining it
+/// against DAE makes two individually-sound passes fight: DAE removes
+/// the full redundancy, duplication legally re-inserts it).
+pub fn all_optimizations() -> Vec<Optimization> {
+    vec![
+        crate::const_prop(),
+        crate::const_prop_branch(),
+        crate::const_prop_call(),
+        crate::const_fold(),
+        crate::copy_prop(),
+        crate::cse(),
+        crate::load_elim(),
+        crate::branch_fold_true(),
+        crate::branch_fold_false(),
+        crate::self_assign_removal(),
+        crate::dae(),
+        crate::pre_duplicate(),
+    ]
+}
+
+/// Every pure analysis in the suite.
+pub fn all_analyses() -> Vec<PureAnalysis> {
+    vec![crate::taint_analysis()]
+}
+
+/// The default engine pipeline: every optimization except the PRE
+/// duplication pass, which belongs in its own staged [`pre_pipeline`].
+pub fn default_pipeline() -> Vec<Optimization> {
+    all_optimizations()
+        .into_iter()
+        .filter(|o| o.name != "pre_duplicate")
+        .collect()
+}
+
+/// The deliberately unsound variants (paper §6), for exercising the
+/// checker's bug-finding.
+pub fn buggy_optimizations() -> Vec<Optimization> {
+    vec![crate::buggy::load_elim_no_alias()]
+}
+
+/// The PRE pipeline of paper §2.3: duplicate partially redundant
+/// computations, eliminate the now-full redundancies with CSE, clean up
+/// self-assignments, then remove dead code.
+pub fn pre_pipeline() -> Vec<Optimization> {
+    vec![
+        crate::pre_duplicate(),
+        crate::cse(),
+        crate::self_assign_removal(),
+        crate::dae(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_size_matches_paper_scale() {
+        // "We have implemented and automatically proven sound a dozen
+        // Cobalt optimizations and analyses."
+        let n = all_optimizations().len() + all_analyses().len();
+        assert!(n >= 11, "suite has {n} entries");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = all_optimizations().iter().map(|o| o.name.clone()).collect();
+        names.extend(all_analyses().iter().map(|a| a.name.clone()));
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}
+
+#[cfg(test)]
+mod surface_syntax_tests {
+    use super::*;
+
+    /// The suite's surface-syntax file parses to exactly the registry's
+    /// transformation patterns (heuristics are Rust-side and excluded
+    /// from the comparison, as the paper's factoring prescribes).
+    #[test]
+    fn suite_file_matches_registry() {
+        let src = include_str!("../suite/suite.cob");
+        let suite = cobalt_dsl::parse_suite(src).unwrap();
+        let (opts, analyses) = (suite.optimizations, suite.analyses);
+        let built = all_optimizations();
+        assert_eq!(opts.len(), built.len());
+        for parsed in &opts {
+            let reference = built
+                .iter()
+                .find(|o| o.name == parsed.name)
+                .unwrap_or_else(|| panic!("`{}` not in registry", parsed.name));
+            assert_eq!(
+                parsed.pattern, reference.pattern,
+                "surface syntax drifted for `{}`",
+                parsed.name
+            );
+        }
+        let built_analyses = all_analyses();
+        assert_eq!(analyses.len(), built_analyses.len());
+        for parsed in &analyses {
+            let reference = built_analyses
+                .iter()
+                .find(|a| a.name == parsed.name)
+                .unwrap();
+            assert_eq!(parsed.guard, reference.guard);
+            assert_eq!(parsed.defines, reference.defines);
+            assert_eq!(parsed.witness, reference.witness);
+        }
+    }
+}

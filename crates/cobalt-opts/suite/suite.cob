@@ -1,0 +1,86 @@
+# The Cobalt optimization suite in surface syntax.
+# Parsed by cobalt_dsl::parse_suite; the test in src/registry.rs checks
+# that these definitions are identical to the Rust-built registry
+# (profitability heuristics, which are arbitrary Rust code, attach on
+# the Rust side).
+
+forward const_prop {
+    stmt(Y := C)
+    followed by !mayDef(Y)
+    until X := Y => X := C
+    with witness eta(Y) == C
+}
+
+forward const_prop_branch {
+    stmt(Y := C)
+    followed by !mayDef(Y)
+    until if Y goto I1 else I2 => if C goto I1 else I2
+    with witness eta(Y) == C
+}
+
+forward const_prop_call {
+    stmt(Y := C)
+    followed by !mayDef(Y)
+    until X := F(Y) => X := F(C)
+    with witness eta(Y) == C
+}
+
+local const_fold {
+    rewrite X := E => X := fold(E)
+}
+
+forward copy_prop {
+    stmt(Y := Z)
+    followed by !mayDef(Y) && !mayDef(Z)
+    until X := Y => X := Z
+    with witness eta(Y) == eta(Z)
+}
+
+forward cse {
+    stmt(X := E) && unchanged(E)
+    followed by unchanged(E) && !mayDef(X)
+    until Y := E => Y := X
+    with witness eta(X) == eta(E)
+}
+
+forward load_elim {
+    stmt(X := *P) && unchanged(*P)
+    followed by unchanged(*P) && !mayDef(X)
+    until Y := *P => Y := X
+    with witness eta(X) == eta(*P)
+}
+
+local branch_fold_true {
+    rewrite if C goto I1 else I2 => if C goto I1 else I1
+    where !(C == 0)
+}
+
+local branch_fold_false {
+    rewrite if C goto I1 else I2 => if C goto I2 else I2
+    where C == 0
+}
+
+local self_assign_removal {
+    rewrite X := X => skip
+}
+
+backward dae {
+    (stmt(X := ...) || stmt(return ...)) && !mayUse(X)
+    preceded by !mayUse(X)
+    since X := E => skip
+    with witness old/X == new/X
+}
+
+backward pre_duplicate {
+    stmt(X := E) && !mayUse(X)
+    preceded by unchanged(E) && !mayDef(X) && !mayUse(X)
+    since skip => X := E
+    with witness old/X == new/X
+}
+
+analysis taint {
+    stmt(decl X)
+    followed by !stmt(... := &X)
+    defines notTainted(X)
+    with witness notPointedTo(X)
+}

@@ -1,0 +1,39 @@
+//! # cobalt-tv
+//!
+//! A translation-validation baseline for the Cobalt reproduction.
+//!
+//! The paper (§1, §8) contrasts two ways to trust an optimizer:
+//! *translation validation* checks each compiled program against its
+//! original — paying a validation cost on **every** compile and offering
+//! no recourse when validation fails — whereas Cobalt proves the
+//! optimization sound **once**, for all input programs. This crate
+//! implements the former so the benchmark harness (experiment E5) can
+//! measure the crossover.
+//!
+//! The validator recomputes concrete dataflow [facts] for each procedure
+//! pair and discharges a per-site verification condition with the same
+//! automatic theorem prover the Cobalt checker uses.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cobalt_il::parse_program;
+//! use cobalt_tv::validate_proc;
+//!
+//! let orig = parse_program("proc main(x) { a := 2; c := a; return c; }")?;
+//! let new = parse_program("proc main(x) { a := 2; c := 2; return c; }")?;
+//! let report = validate_proc(orig.main().unwrap(), new.main().unwrap())?;
+//! assert!(report.validated());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod facts;
+pub mod validate;
+
+pub use facts::{anticipated, live_vars, value_facts, Fact};
+pub use validate::{validate_proc, SiteVerdict, TvError, ValidationReport};

@@ -1,0 +1,190 @@
+//! The correctness checker: builds the obligations of an optimization or
+//! pure analysis and discharges them with the automatic theorem prover
+//! (paper §5.1).
+
+use crate::enc::SemanticMeanings;
+use crate::error::VerifyError;
+use crate::oblig::{obligations_for_analysis, obligations_for_optimization, Prepared};
+use cobalt_dsl::{LabelEnv, Optimization, PureAnalysis};
+use cobalt_logic::{Limits, Outcome};
+use std::time::Duration;
+
+/// The result of attempting one proof obligation.
+#[derive(Debug, Clone)]
+pub struct ObligationOutcome {
+    /// Obligation identifier (e.g. `"F2/assign_var"`).
+    pub id: String,
+    /// Whether the prover discharged it.
+    pub proved: bool,
+    /// Time the prover spent.
+    pub elapsed: Duration,
+    /// For failures: the reason and the open-branch counterexample
+    /// context (paper §7); empty on success.
+    pub detail: String,
+}
+
+/// The verification report for one optimization or analysis.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Name of the optimization or analysis.
+    pub name: String,
+    /// Per-obligation outcomes.
+    pub outcomes: Vec<ObligationOutcome>,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl Report {
+    /// Whether every obligation was proved — i.e. the optimization is
+    /// sound (Theorems 1 and 2).
+    pub fn all_proved(&self) -> bool {
+        self.outcomes.iter().all(|o| o.proved)
+    }
+
+    /// The identifiers of failed obligations.
+    pub fn failures(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.proved)
+            .map(|o| o.id.as_str())
+            .collect()
+    }
+
+    /// A one-line summary, e.g. `const_prop: 34/34 proved in 120ms`.
+    pub fn summary(&self) -> String {
+        let proved = self.outcomes.iter().filter(|o| o.proved).count();
+        format!(
+            "{}: {}/{} obligations proved in {:.1?}",
+            self.name,
+            proved,
+            self.outcomes.len(),
+            self.elapsed
+        )
+    }
+}
+
+/// The soundness checker for Cobalt optimizations.
+///
+/// # Examples
+///
+/// ```
+/// use cobalt_dsl::LabelEnv;
+/// use cobalt_verify::{SemanticMeanings, Verifier};
+///
+/// let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
+/// # let _ = verifier;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    env: LabelEnv,
+    meanings: SemanticMeanings,
+    limits: Limits,
+}
+
+impl Verifier {
+    /// Creates a checker with the given label environment and semantic
+    /// label meanings.
+    pub fn new(env: LabelEnv, meanings: SemanticMeanings) -> Self {
+        Verifier {
+            env,
+            meanings,
+            limits: Limits::default(),
+        }
+    }
+
+    /// Overrides the prover's resource limits.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Attempts to prove an optimization sound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] if the optimization cannot be encoded at
+    /// all; failed *proofs* are reported in the [`Report`].
+    pub fn verify_optimization(&self, opt: &Optimization) -> Result<Report, VerifyError> {
+        let prepared = obligations_for_optimization(opt, &self.env, &self.meanings)?;
+        Ok(self.run(opt.name.clone(), prepared))
+    }
+
+    /// Attempts to prove a pure analysis sound, i.e. that its label
+    /// really means its witness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] if the analysis cannot be encoded.
+    pub fn verify_analysis(&self, analysis: &PureAnalysis) -> Result<Report, VerifyError> {
+        let prepared = obligations_for_analysis(analysis, &self.env, &self.meanings)?;
+        Ok(self.run(analysis.name.clone(), prepared))
+    }
+
+    /// Verifies a pure analysis and, on success, registers its label's
+    /// meaning so later optimizations may rely on it — the verified
+    /// counterpart of paper §2.4's "the witness provides the new
+    /// label's meaning".
+    ///
+    /// Returns the report; the meaning is registered only when every
+    /// obligation was proved, so an unverified analysis can never lend
+    /// its label to an optimization proof.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] if the analysis cannot be encoded, or if
+    /// its `defines` arguments are not plain pattern variables (the
+    /// only form a meaning can be parameterized by).
+    pub fn verify_and_register_analysis(
+        &mut self,
+        analysis: &PureAnalysis,
+    ) -> Result<Report, VerifyError> {
+        let report = self.verify_analysis(analysis)?;
+        if report.all_proved() {
+            let params: Vec<cobalt_dsl::PatVar> = analysis
+                .defines
+                .1
+                .iter()
+                .map(|a| match a {
+                    cobalt_dsl::LabelArgPat::Var(cobalt_dsl::VarPat::Pat(p)) => Ok(p.clone()),
+                    other => Err(VerifyError::Unsupported(format!(
+                        "label parameter `{other}` is not a pattern variable"
+                    ))),
+                })
+                .collect::<Result<_, _>>()?;
+            self.meanings
+                .register(analysis.defines.0.clone(), params, analysis.witness.clone());
+        }
+        Ok(report)
+    }
+
+    fn run(&self, name: String, prepared: Vec<Prepared>) -> Report {
+        let start = std::time::Instant::now();
+        let mut outcomes = Vec::new();
+        for mut p in prepared {
+            p.solver.set_limits(self.limits.clone());
+            let outcome = p.solver.prove(&p.task);
+            let (proved, detail) = match &outcome {
+                Outcome::Proved { .. } => (true, String::new()),
+                Outcome::Unknown {
+                    reason,
+                    open_branch,
+                    ..
+                } => (
+                    false,
+                    format!("{reason}; context: {}", open_branch.join("; ")),
+                ),
+            };
+            outcomes.push(ObligationOutcome {
+                id: p.id,
+                proved,
+                elapsed: outcome.elapsed(),
+                detail,
+            });
+        }
+        Report {
+            name,
+            outcomes,
+            elapsed: start.elapsed(),
+        }
+    }
+}

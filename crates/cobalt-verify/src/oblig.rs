@@ -1,0 +1,398 @@
+//! Construction of the optimization-specific proof obligations
+//! (paper §4.2 and §4.3).
+//!
+//! * Forward region patterns: **F1** (the enabling statement establishes
+//!   the witness), **F2** (innocuous statements preserve it), **F3**
+//!   (under the witness, `s` and `s'` have the same effect).
+//! * Backward region patterns: **B1** (executing `s`/`s'` establishes
+//!   the backward witness), **B2** (innocuous statements preserve it in
+//!   lockstep), **B3** (the enabling statement re-unifies the states).
+//! * Local rewrites (extension): **F3** only.
+//! * Pure analyses: **A1**/**A2**, the F1/F2 of the defined label's
+//!   witness.
+//!
+//! F1, F2, B2, B3 and A1, A2 quantify over *all* statements satisfying a
+//! guard; the builders realize this as one obligation per statement
+//! shape (see [`crate::enc`]), skipping shapes whose guard is statically
+//! false.
+
+use crate::enc::{Bind, Enc, RhsShape, SemanticMeanings, Shape, TaintMode};
+use crate::error::VerifyError;
+use crate::guardenc::GuardCtx;
+use crate::vocab::{self, Kinds};
+use cobalt_dsl::{
+    BackwardWitness, Direction, ForwardWitness, Guard, GuardSpec, LabelEnv, Optimization,
+    PureAnalysis, RegionGuard, VarPat, Witness,
+};
+use cobalt_logic::TermId;
+use cobalt_logic::{Formula, ProofTask, Solver};
+
+/// A fully prepared obligation: its own solver (holding the term bank
+/// the task refers to) plus the task.
+pub struct Prepared {
+    /// Obligation identifier, e.g. `"F2/assign_var"`.
+    pub id: String,
+    /// The solver to run the task with.
+    pub solver: Solver,
+    /// The proof task.
+    pub task: ProofTask,
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Prepared({})", self.id)
+    }
+}
+
+type BuildFn<'x> =
+    dyn FnOnce(&mut Enc<'_>, &Bind) -> Result<Option<(Vec<Formula>, Formula)>, VerifyError> + 'x;
+
+fn build(
+    id: String,
+    defs: &LabelEnv,
+    meanings: &SemanticMeanings,
+    mode: TaintMode,
+    kinds: &Kinds,
+    f: Box<BuildFn<'_>>,
+) -> Result<Option<Prepared>, VerifyError> {
+    let mut solver = Solver::new();
+    let out = {
+        let (mut enc, bind) = Enc::new(&mut solver, defs, meanings, mode, kinds);
+        match f(&mut enc, &bind)? {
+            None => None,
+            Some((mut hyps, goal)) => {
+                enc.emit_env_injectivity_all();
+                hyps.append(&mut enc.extra);
+                Some((hyps, goal))
+            }
+        }
+    };
+    Ok(out.map(|(hypotheses, goal)| Prepared {
+        id,
+        solver,
+        task: ProofTask { hypotheses, goal },
+    }))
+}
+
+fn is_statically_false(f: &Formula) -> bool {
+    matches!(f, Formula::False)
+}
+
+/// The variable terms a forward witness asserts `notPointedTo` of; when
+/// the witness is a hypothesis, these enable the call frame conditions.
+fn witness_taint_vars(w: &ForwardWitness, bind: &Bind) -> Vec<TermId> {
+    match w {
+        ForwardWitness::NotPointedTo(VarPat::Pat(p)) => {
+            bind.get(p).copied().into_iter().collect()
+        }
+        ForwardWitness::And(ws) => ws
+            .iter()
+            .flat_map(|w| witness_taint_vars(w, bind))
+            .collect(),
+        _ => vec![],
+    }
+}
+
+/// Rejects rewrite templates whose symbolic execution would need
+/// success assumptions we are not entitled to make for the *transformed*
+/// program (footnote 6 of the paper): dereferences and operator
+/// applications on the right-hand side of `s'`.
+fn check_template_safe(shape: &Shape) -> Result<(), VerifyError> {
+    let bad = |r: &RhsShape| {
+        matches!(r, RhsShape::Deref(_) | RhsShape::Op(_, _))
+    };
+    match shape {
+        Shape::AssignDeref(_, _) => Err(VerifyError::Unsupported(
+            "pointer store in rewrite template".into(),
+        )),
+        Shape::AssignVar(_, r) if bad(r) => Err(VerifyError::Unsupported(
+            "dereference or operator application in rewrite template".into(),
+        )),
+        _ => Ok(()),
+    }
+}
+
+/// Builds the obligations of an optimization.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] if the optimization cannot be encoded (its
+/// proofs then cannot be attempted at all).
+pub fn obligations_for_optimization(
+    opt: &Optimization,
+    defs: &LabelEnv,
+    meanings: &SemanticMeanings,
+) -> Result<Vec<Prepared>, VerifyError> {
+    let kinds = vocab::of_optimization(opt)?;
+    let pat = &opt.pattern;
+    let mut out = Vec::new();
+    match (&pat.guard, pat.direction) {
+        (GuardSpec::Local, _) => {
+            out.extend(f3_obligation(opt, defs, meanings, &kinds)?);
+        }
+        (GuardSpec::Region(rg), Direction::Forward) => {
+            let Witness::Forward(w) = &pat.witness else {
+                return Err(VerifyError::Unsupported(
+                    "forward pattern requires a forward witness".into(),
+                ));
+            };
+            out.extend(region_f1_f2(
+                "F1", &rg.psi1, None, w, defs, meanings, &kinds,
+            )?);
+            out.extend(region_f1_f2(
+                "F2",
+                &rg.psi2,
+                Some(w),
+                w,
+                defs,
+                meanings,
+                &kinds,
+            )?);
+            out.extend(f3_obligation(opt, defs, meanings, &kinds)?);
+        }
+        (GuardSpec::Region(rg), Direction::Backward) => {
+            let Witness::Backward(w) = &pat.witness else {
+                return Err(VerifyError::Unsupported(
+                    "backward pattern requires a backward witness".into(),
+                ));
+            };
+            // B1.
+            let w1 = w.clone();
+            let from = pat.from.clone();
+            let to = pat.to.clone();
+            let where_clause = pat.where_clause.clone();
+            if let Some(p) = build(
+                "B1".into(),
+                defs,
+                meanings,
+                TaintMode::AbsentFalse,
+                &kinds,
+                Box::new(move |enc, bind| {
+                    let st0 = enc.init_state("0");
+                    let from_shape = enc.shape_of_pattern(&from, bind)?;
+                    let to_shape = enc.shape_of_pattern(&to, bind)?;
+                    check_template_safe(&to_shape)?;
+                    let st_old = enc.step(&from_shape, &st0, &[], true)?;
+                    let st_new = enc.step(&to_shape, &st0, &[], false)?;
+                    let ctx = GuardCtx {
+                        shape: &from_shape,
+                        st: st0,
+                        steps: vec![(st0, st_old)],
+                    };
+                    let (wc, _) = enc.encode_guard(&where_clause, &ctx, bind, false)?;
+                    if is_statically_false(&wc) {
+                        return Ok(None);
+                    }
+                    let goal = enc.bwd_witness(&w1, &st_old, &st_new, bind)?;
+                    Ok(Some((vec![wc], goal)))
+                }),
+            )? {
+                out.push(p);
+            }
+            // B2 and B3, per shape.
+            out.extend(backward_shapes("B2", &rg.psi2, w, false, defs, meanings, &kinds)?);
+            out.extend(backward_shapes("B3", &rg.psi1, w, true, defs, meanings, &kinds)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Builds A1/A2 for a pure analysis.
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] if the analysis cannot be encoded.
+pub fn obligations_for_analysis(
+    analysis: &PureAnalysis,
+    defs: &LabelEnv,
+    meanings: &SemanticMeanings,
+) -> Result<Vec<Prepared>, VerifyError> {
+    let kinds = vocab::of_analysis(analysis)?;
+    let RegionGuard { psi1, psi2 } = &analysis.guard;
+    let w = &analysis.witness;
+    let mut out = Vec::new();
+    out.extend(region_f1_f2("A1", psi1, None, w, defs, meanings, &kinds)?);
+    out.extend(region_f1_f2("A2", psi2, Some(w), w, defs, meanings, &kinds)?);
+    Ok(out)
+}
+
+/// Shared builder for F1/F2/A1/A2: per shape, guard hypotheses (+ the
+/// witness at the pre-state when `pre_witness` is set) entail the
+/// witness at the post-state.
+fn region_f1_f2(
+    tag_prefix: &str,
+    psi: &Guard,
+    pre_witness: Option<&cobalt_dsl::ForwardWitness>,
+    post_witness: &cobalt_dsl::ForwardWitness,
+    defs: &LabelEnv,
+    meanings: &SemanticMeanings,
+    kinds: &Kinds,
+) -> Result<Vec<Prepared>, VerifyError> {
+    let mut out = Vec::new();
+    for tag in Enc::shape_tags(false) {
+        let psi = psi.clone();
+        let pre_w = pre_witness.cloned();
+        let post_w = post_witness.clone();
+        let prepared = build(
+            format!("{tag}/{name}", tag = tag, name = ""),
+            defs,
+            meanings,
+            TaintMode::Semantic,
+            kinds,
+            Box::new(move |enc, bind| {
+                let shape = enc.shape_by_tag(tag);
+                let st0 = enc.init_state("0");
+                let mut taints = enc.definite_taints(&psi, &shape, bind)?;
+                if let Some(pw) = &pre_w {
+                    taints.extend(witness_taint_vars(pw, bind));
+                }
+                let st1 = enc.step(&shape, &st0, &taints, true)?;
+                let ctx = GuardCtx {
+                    shape: &shape,
+                    st: st0,
+                    steps: vec![(st0, st1)],
+                };
+                let (g, _) = enc.encode_guard(&psi, &ctx, bind, false)?;
+                if is_statically_false(&g) {
+                    return Ok(None);
+                }
+                let mut hyps = vec![g];
+                if let Some(pw) = &pre_w {
+                    let f = enc.fwd_witness(pw, &st0, bind)?;
+                    hyps.push(f);
+                }
+                let goal = enc.fwd_witness(&post_w, &st1, bind)?;
+                Ok(Some((hyps, goal)))
+            }),
+        )?;
+        if let Some(mut p) = prepared {
+            p.id = format!("{tag_prefix}/{tag}", tag_prefix = tag_prefix);
+            out.push(p);
+        }
+    }
+    Ok(out)
+}
+
+/// F3: under the witness (for region patterns) and the `where` clause,
+/// `θ(s)` and `θ(s')` step the state identically.
+fn f3_obligation(
+    opt: &Optimization,
+    defs: &LabelEnv,
+    meanings: &SemanticMeanings,
+    kinds: &Kinds,
+) -> Result<Vec<Prepared>, VerifyError> {
+    let pat = opt.pattern.clone();
+    let prepared = build(
+        "F3".into(),
+        defs,
+        meanings,
+        TaintMode::Semantic,
+        kinds,
+        Box::new(move |enc, bind| {
+            let st0 = enc.init_state("0");
+            let from_shape = enc.shape_of_pattern(&pat.from, bind)?;
+            let to_shape = enc.shape_of_pattern(&pat.to, bind)?;
+            check_template_safe(&to_shape)?;
+            let mut hyps = Vec::new();
+            let taints = enc.definite_taints(&pat.where_clause, &from_shape, bind)?;
+            let st1 = enc.step(&from_shape, &st0, &taints, true)?;
+            let st2 = enc.step(&to_shape, &st0, &taints, false)?;
+            let ctx = GuardCtx {
+                shape: &from_shape,
+                st: st0,
+                steps: vec![(st0, st1)],
+            };
+            let (wc, _) = enc.encode_guard(&pat.where_clause, &ctx, bind, false)?;
+            if is_statically_false(&wc) {
+                return Ok(None);
+            }
+            hyps.push(wc);
+            if let (GuardSpec::Region(_), Witness::Forward(w)) = (&pat.guard, &pat.witness) {
+                let f = enc.fwd_witness(w, &st0, bind)?;
+                hyps.push(f);
+            }
+            let goal = enc.states_equal(&st1, &st2);
+            Ok(Some((hyps, goal)))
+        }),
+    )?;
+    Ok(prepared.into_iter().collect())
+}
+
+/// B2/B3: per shape, lockstep execution of the same statement from
+/// witness-related states.
+fn backward_shapes(
+    tag: &str,
+    psi: &Guard,
+    witness: &cobalt_dsl::BackwardWitness,
+    enabling: bool,
+    defs: &LabelEnv,
+    meanings: &SemanticMeanings,
+    kinds: &Kinds,
+) -> Result<Vec<Prepared>, VerifyError> {
+    let mut out = Vec::new();
+    for name in Enc::shape_tags(enabling) {
+        let psi = psi.clone();
+        let w = witness.clone();
+        let prepared = build(
+            format!("{tag}/{name}"),
+            defs,
+            meanings,
+            TaintMode::AbsentFalse,
+            kinds,
+            Box::new(move |enc, bind| {
+                let shape = enc.shape_by_tag(name);
+                let st_old = enc.init_state("old");
+                let st_new = enc.init_state("new");
+                let pre_witness = enc.bwd_witness(&w, &st_old, &st_new, bind)?;
+                if let Shape::Return(u) = shape {
+                    // Enabling return: the returned values agree (the
+                    // witnessing region ends with the activation; see
+                    // DESIGN.md on the B3-return metatheorem).
+                    let ctx = GuardCtx {
+                        shape: &shape,
+                        st: st_old,
+                        steps: vec![],
+                    };
+                    let (g, _) = enc.encode_guard(&psi, &ctx, bind, false)?;
+                    if is_statically_false(&g) {
+                        return Ok(None);
+                    }
+                    let vo = enc.val(&st_old, u);
+                    let vn = enc.val(&st_new, u);
+                    return Ok(Some((vec![pre_witness, g], Formula::Eq(vo, vn))));
+                }
+                if let (Shape::Decl(w), BackwardWitness::AgreeExcept(VarPat::Pat(p))) =
+                    (&shape, &w)
+                {
+                    // The witnessing region lies between the transformed
+                    // statement (which establishes that X is declared)
+                    // and the enabling statement; re-declaring X would
+                    // fault the original execution, so the obligation
+                    // holds vacuously outside `w ≠ X` (see DESIGN.md).
+                    if let Some(&x) = bind.get(p) {
+                        enc.extra.push(Formula::ne(*w, x));
+                    }
+                }
+                let st1_old = enc.step(&shape, &st_old, &[], true)?;
+                let st1_new = enc.step(&shape, &st_new, &[], false)?;
+                let ctx = GuardCtx {
+                    shape: &shape,
+                    st: st_old,
+                    steps: vec![(st_old, st1_old), (st_new, st1_new)],
+                };
+                let (g, _) = enc.encode_guard(&psi, &ctx, bind, false)?;
+                if is_statically_false(&g) {
+                    return Ok(None);
+                }
+                let goal = if enabling {
+                    enc.states_equal(&st1_old, &st1_new)
+                } else {
+                    enc.bwd_witness(&w, &st1_old, &st1_new, bind)?
+                };
+                Ok(Some((vec![pre_witness, g], goal)))
+            }),
+        )?;
+        out.extend(prepared);
+    }
+    Ok(out)
+}

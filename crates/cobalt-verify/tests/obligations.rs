@@ -1,0 +1,212 @@
+//! Integration tests for the obligation builders and checker driver:
+//! structure of the generated obligation sets, rejection reporting, and
+//! the encodability error paths.
+
+use cobalt_dsl::{
+    BackwardWitness, BasePat, ConstPat, Direction, ExprPat, ForwardWitness, Guard, GuardSpec,
+    LabelArgPat, LabelEnv, LhsPat, Optimization, RegionGuard, StmtPat, TransformPattern, VarPat,
+    Witness,
+};
+use cobalt_verify::{obligations_for_optimization, SemanticMeanings, Verifier};
+
+fn env() -> (LabelEnv, SemanticMeanings) {
+    (LabelEnv::standard(), SemanticMeanings::standard())
+}
+
+fn const_prop_like() -> Optimization {
+    Optimization::new(
+        "cp",
+        TransformPattern {
+            direction: Direction::Forward,
+            guard: GuardSpec::Region(RegionGuard {
+                psi1: Guard::Stmt(StmtPat::Assign(
+                    LhsPat::Var(VarPat::pat("Y")),
+                    ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+                )),
+                psi2: Guard::not_label("mayDef", vec![LabelArgPat::Var(VarPat::pat("Y"))]),
+            }),
+            from: StmtPat::Assign(
+                LhsPat::Var(VarPat::pat("X")),
+                ExprPat::Base(BasePat::Var(VarPat::pat("Y"))),
+            ),
+            to: StmtPat::Assign(
+                LhsPat::Var(VarPat::pat("X")),
+                ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+            ),
+            where_clause: Guard::True,
+            witness: Witness::Forward(ForwardWitness::VarEqConst(
+                VarPat::pat("Y"),
+                ConstPat::pat("C"),
+            )),
+        },
+    )
+}
+
+#[test]
+fn forward_obligation_set_structure() {
+    let (defs, meanings) = env();
+    let obls = obligations_for_optimization(&const_prop_like(), &defs, &meanings).unwrap();
+    let ids: Vec<&str> = obls.iter().map(|o| o.id.as_str()).collect();
+    // Exactly one F1 survives static filtering (only assign-const
+    // statements can satisfy stmt(Y := C)).
+    assert_eq!(ids.iter().filter(|i| i.starts_with("F1")).count(), 1);
+    assert!(ids.contains(&"F1/assign_const"));
+    // F2 covers every non-return statement shape.
+    assert_eq!(ids.iter().filter(|i| i.starts_with("F2")).count(), 25);
+    assert!(ids.contains(&"F3"));
+}
+
+#[test]
+fn backward_obligation_set_structure() {
+    let (defs, meanings) = env();
+    let dae = cobalt_opts::dae();
+    let obls = obligations_for_optimization(&dae, &defs, &meanings).unwrap();
+    let ids: Vec<&str> = obls.iter().map(|o| o.id.as_str()).collect();
+    assert!(ids.contains(&"B1"));
+    // B2 skips statically-vacuous shapes (calls and pointer-reads are
+    // never innocuous for the conservative mayUse).
+    assert!(ids.iter().filter(|i| i.starts_with("B2")).count() >= 10);
+    assert!(!ids.contains(&"B2/call_var"));
+    // The enabling return shape is a B3 obligation.
+    assert!(ids.contains(&"B3/return"));
+}
+
+#[test]
+fn failed_obligations_report_counterexample_context() {
+    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
+    let report = verifier
+        .verify_optimization(&cobalt_opts::buggy::load_elim_no_alias())
+        .unwrap();
+    assert!(!report.all_proved());
+    let failed = report.outcomes.iter().find(|o| !o.proved).unwrap();
+    assert!(
+        failed.detail.contains("open branch") || failed.detail.contains("limit"),
+        "{}",
+        failed.detail
+    );
+    assert!(report.summary().contains('/'));
+    assert!(!report.failures().is_empty());
+}
+
+#[test]
+fn kind_conflicts_are_encoding_errors() {
+    let (defs, meanings) = env();
+    let bad = Optimization::new(
+        "kind_conflict",
+        TransformPattern {
+            direction: Direction::Forward,
+            guard: GuardSpec::Local,
+            from: StmtPat::Assign(
+                LhsPat::Var(VarPat::pat("X")),
+                // X used as a constant too.
+                ExprPat::Base(BasePat::Const(ConstPat::pat("X"))),
+            ),
+            to: StmtPat::Skip,
+            where_clause: Guard::True,
+            witness: Witness::Forward(ForwardWitness::True),
+        },
+    );
+    let err = obligations_for_optimization(&bad, &defs, &meanings).unwrap_err();
+    assert!(err.to_string().contains("both"));
+}
+
+#[test]
+fn unsafe_templates_are_rejected_not_assumed() {
+    let (defs, meanings) = env();
+    // s' dereferences a pointer: the transformed program could fault
+    // where the original did not, so the checker refuses to encode it
+    // rather than assume success (paper footnote 6).
+    let bad = Optimization::new(
+        "unsafe_template",
+        TransformPattern {
+            direction: Direction::Forward,
+            guard: GuardSpec::Local,
+            from: StmtPat::Assign(LhsPat::Var(VarPat::pat("X")), ExprPat::Pat("E".into())),
+            to: StmtPat::Assign(LhsPat::Var(VarPat::pat("X")), ExprPat::Deref(VarPat::pat("P"))),
+            where_clause: Guard::True,
+            witness: Witness::Forward(ForwardWitness::True),
+        },
+    );
+    let err = obligations_for_optimization(&bad, &defs, &meanings).unwrap_err();
+    assert!(err.to_string().contains("template"), "{err}");
+}
+
+#[test]
+fn wrong_witness_direction_is_an_error() {
+    let (defs, meanings) = env();
+    let mut opt = const_prop_like();
+    opt.pattern.witness = Witness::Backward(BackwardWitness::Identical);
+    assert!(obligations_for_optimization(&opt, &defs, &meanings).is_err());
+}
+
+#[test]
+fn a_wrong_witness_fails_rather_than_errors() {
+    // A witness that is simply false for the pattern: encodable, but
+    // the proof fails — the checker distinguishes "cannot encode" from
+    // "not sound as written".
+    let (defs, meanings) = env();
+    let mut opt = const_prop_like();
+    opt.pattern.witness = Witness::Forward(ForwardWitness::VarEqVar(
+        VarPat::pat("X"),
+        VarPat::pat("Y"),
+    ));
+    let obls = obligations_for_optimization(&opt, &defs, &meanings).unwrap();
+    let verifier = Verifier::new(defs, meanings);
+    let report = verifier.verify_optimization(&opt).unwrap();
+    assert!(!report.all_proved());
+    assert!(!obls.is_empty());
+}
+
+#[test]
+fn semantic_labels_without_meanings_are_conservative() {
+    // With no registered meanings, notTainted-based reasoning yields
+    // "absent" labels; the pointer-aware suite must still verify,
+    // because ¬notTainted ≡ true is the conservative direction.
+    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::none());
+    let report = verifier
+        .verify_optimization(&cobalt_opts::const_prop())
+        .unwrap();
+    assert!(report.all_proved(), "{:?}", report.failures());
+}
+
+#[test]
+fn verified_analysis_unlocks_dependent_optimizations() {
+    // The trust chain of paper §2.4: start with NO semantic meanings,
+    // verify the taint analysis, register its meaning, and only then
+    // does the pointer-aware load elimination have the facts its proof
+    // relies on. (load_elim verifies either way — absent labels are the
+    // conservative direction — so the check here is that registration
+    // goes through the verified path and the registered meaning is the
+    // analysis's own witness.)
+    let mut verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::none());
+    let report = verifier
+        .verify_and_register_analysis(&cobalt_opts::taint_analysis())
+        .unwrap();
+    assert!(report.all_proved(), "{:?}", report.failures());
+    let report = verifier
+        .verify_optimization(&cobalt_opts::load_elim())
+        .unwrap();
+    assert!(report.all_proved(), "{:?}", report.failures());
+}
+
+#[test]
+fn suite_verifies_under_conservative_labels_too() {
+    // Paper §2.1.3 vs §2.4: the suite proves under the fully
+    // conservative mayDef/mayUse as well — pointer information only
+    // buys precision, never soundness.
+    let verifier = Verifier::new(LabelEnv::conservative(), SemanticMeanings::none());
+    for opt in [
+        cobalt_opts::const_prop(),
+        cobalt_opts::copy_prop(),
+        cobalt_opts::cse(),
+        cobalt_opts::dae(),
+    ] {
+        let report = verifier.verify_optimization(&opt).unwrap();
+        assert!(
+            report.all_proved(),
+            "{} under conservative labels: {:?}",
+            opt.name,
+            report.failures()
+        );
+    }
+}

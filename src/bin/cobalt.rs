@@ -1,0 +1,382 @@
+//! The `cobalt` command-line tool: run, optimize, verify, and validate
+//! from the shell.
+//!
+//! ```text
+//! cobalt run <prog.il> [--arg N]
+//! cobalt optimize <prog.il> [--passes a,b,…|all] [--rounds N] [--recursive-dae]
+//! cobalt verify [<suite.cob>] [--include-buggy]
+//! cobalt validate <orig.il> <new.il>
+//! cobalt hunt <name|suite.cob> [--tries N]
+//! ```
+
+use cobalt::dsl::{LabelEnv, Optimization, PureAnalysis};
+use cobalt::engine::Engine;
+use cobalt::il::{parse_program, pretty_program, Interp};
+use cobalt::verify::{SemanticMeanings, Verifier};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cobalt: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cobalt run <prog.il> [--arg N]
+      parse, validate, and interpret main(N) (default N = 0)
+  cobalt optimize <prog.il> [--passes a,b|all] [--rounds N] [--recursive-dae]
+      run the (machine-verified) optimization suite and print the result
+  cobalt verify [<suite.cob>] [--include-buggy]
+      prove every optimization sound; with no file, the built-in suite
+  cobalt trace <prog.il> [--arg N]
+      interpret main(N) printing every executed statement
+  cobalt validate <orig.il> <new.il>
+      translation validation of a single compile (the baseline approach)
+  cobalt hunt <name|suite.cob> [--tries N]
+      search for a counterexample program for a (presumably unsound)
+      optimization; `name` may be `buggy` for the built-in §6 variant
+";
+
+/// Entry point, factored for testing.
+fn run_cli(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("optimize") => cmd_optimize(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("hunt") => cmd_hunt(&args[1..]),
+        Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].as_str())
+}
+
+fn positional(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            // Flags with values: --arg, --passes, --rounds, --tries.
+            skip = matches!(a.as_str(), "--arg" | "--passes" | "--rounds" | "--tries")
+                && i + 1 < args.len();
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn cmd_run(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err(format!("run: expected one program file\n{USAGE}"));
+    };
+    let arg: i64 = flag_value(args, "--arg")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|e| format!("--arg: {e}"))?;
+    let prog = parse_program(&read(path)?).map_err(|e| e.to_string())?;
+    cobalt::il::validate(&prog).map_err(|e| e.to_string())?;
+    let result = Interp::new(&prog).run(arg).map_err(|e| e.to_string())?;
+    Ok(format!("main({arg}) = {result}\n"))
+}
+
+fn cmd_trace(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err(format!("trace: expected one program file\n{USAGE}"));
+    };
+    let arg: i64 = flag_value(args, "--arg")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|e| format!("--arg: {e}"))?;
+    let prog = parse_program(&read(path)?).map_err(|e| e.to_string())?;
+    cobalt::il::validate(&prog).map_err(|e| e.to_string())?;
+    let (trace, result) = Interp::new(&prog).with_fuel(10_000).run_traced(arg);
+    let mut out = String::new();
+    for entry in &trace {
+        out.push_str(&format!("{entry}\n"));
+    }
+    match result {
+        Ok(v) => out.push_str(&format!("=> main({arg}) = {v} ({} steps)\n", trace.len())),
+        Err(e) => out.push_str(&format!("=> {e} (after {} steps)\n", trace.len())),
+    }
+    Ok(out)
+}
+
+fn suite_by_names(names: &str) -> Result<Vec<Optimization>, String> {
+    if names == "all" {
+        return Ok(cobalt::opts::default_pipeline());
+    }
+    let registry = cobalt::opts::all_optimizations();
+    names
+        .split(',')
+        .map(|n| {
+            registry
+                .iter()
+                .find(|o| o.name == n)
+                .cloned()
+                .ok_or_else(|| format!("unknown pass `{n}`"))
+        })
+        .collect()
+}
+
+fn cmd_optimize(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else {
+        return Err(format!("optimize: expected one program file\n{USAGE}"));
+    };
+    let rounds: usize = flag_value(args, "--rounds")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|e| format!("--rounds: {e}"))?;
+    let passes = suite_by_names(flag_value(args, "--passes").unwrap_or("all"))?;
+    let prog = parse_program(&read(path)?).map_err(|e| e.to_string())?;
+    cobalt::il::validate(&prog).map_err(|e| e.to_string())?;
+    let engine = Engine::new(LabelEnv::standard());
+    let (mut out, n) = engine
+        .optimize_program(&prog, &cobalt::opts::all_analyses(), &passes, rounds)
+        .map_err(|e| e.to_string())?;
+    let mut extra = 0;
+    if args.iter().any(|a| a == "--recursive-dae") {
+        let mut next = out.clone();
+        for proc in &out.procs {
+            let (p, removed) =
+                cobalt::engine::apply_recursive(&engine, proc, &cobalt::opts::dae())
+                    .map_err(|e| e.to_string())?;
+            extra += removed.len();
+            next = next.with_proc_replaced(p);
+        }
+        out = next;
+    }
+    Ok(format!(
+        "// {} rewrites applied{}\n{}",
+        n,
+        if extra > 0 {
+            format!(" (+{extra} by recursive DAE)")
+        } else {
+            String::new()
+        },
+        pretty_program(&out)
+    ))
+}
+
+fn load_suite(path: Option<&str>) -> Result<(Vec<Optimization>, Vec<PureAnalysis>), String> {
+    match path {
+        None => Ok((cobalt::opts::all_optimizations(), cobalt::opts::all_analyses())),
+        Some(p) => {
+            let suite = cobalt::dsl::parse_suite(&read(p)?).map_err(|e| e.to_string())?;
+            Ok((suite.optimizations, suite.analyses))
+        }
+    }
+}
+
+fn cmd_verify(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let (opts, analyses) = load_suite(pos.first().copied())?;
+    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
+    let mut out = String::new();
+    let mut all_ok = true;
+    for a in &analyses {
+        let report = verifier.verify_analysis(a).map_err(|e| e.to_string())?;
+        all_ok &= report.all_proved();
+        out.push_str(&report.summary());
+        out.push('\n');
+        for o in report.outcomes.iter().filter(|o| !o.proved) {
+            out.push_str(&format!("  FAILED {}\n", o.id));
+        }
+    }
+    for o in &opts {
+        let report = verifier.verify_optimization(o).map_err(|e| e.to_string())?;
+        all_ok &= report.all_proved();
+        out.push_str(&report.summary());
+        out.push('\n');
+        for oc in report.outcomes.iter().filter(|oc| !oc.proved) {
+            out.push_str(&format!("  FAILED {}\n", oc.id));
+        }
+    }
+    if args.iter().any(|a| a == "--include-buggy") {
+        for o in cobalt::opts::buggy_optimizations() {
+            let report = verifier.verify_optimization(&o).map_err(|e| e.to_string())?;
+            let rejected = !report.all_proved();
+            // A buggy variant that verifies is itself a soundness
+            // regression: fail the command.
+            all_ok &= rejected;
+            out.push_str(&format!(
+                "{} — {}\n",
+                report.summary(),
+                if rejected {
+                    "correctly rejected"
+                } else {
+                    "UNEXPECTEDLY PROVED"
+                }
+            ));
+        }
+    }
+    if all_ok {
+        out.push_str("all optimizations proved sound\n");
+        Ok(out)
+    } else {
+        Err(format!("{out}some obligations failed"))
+    }
+}
+
+fn cmd_validate(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let [orig_path, new_path] = pos.as_slice() else {
+        return Err(format!("validate: expected two program files\n{USAGE}"));
+    };
+    let orig = parse_program(&read(orig_path)?).map_err(|e| e.to_string())?;
+    let new = parse_program(&read(new_path)?).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for proc in &orig.procs {
+        let Some(new_proc) = new.proc(&proc.name) else {
+            return Err(format!("procedure `{}` missing from the transformed program", proc.name));
+        };
+        let report = cobalt::tv::validate_proc(proc, new_proc).map_err(|e| e.to_string())?;
+        for site in &report.sites {
+            out.push_str(&format!(
+                "{}:{} {} — {}\n",
+                proc.name,
+                site.index,
+                if site.validated { "ok" } else { "REJECTED" },
+                site.reason
+            ));
+        }
+        if !report.validated() {
+            return Err(format!("{out}validation failed"));
+        }
+    }
+    out.push_str("validated\n");
+    Ok(out)
+}
+
+fn cmd_hunt(args: &[String]) -> Result<String, String> {
+    let pos = positional(args);
+    let [what] = pos.as_slice() else {
+        return Err(format!("hunt: expected an optimization name or suite file\n{USAGE}"));
+    };
+    let tries: u64 = flag_value(args, "--tries")
+        .unwrap_or("3000")
+        .parse()
+        .map_err(|e| format!("--tries: {e}"))?;
+    let opt = if *what == "buggy" {
+        cobalt::opts::buggy::load_elim_no_alias()
+    } else if what.ends_with(".cob") {
+        let suite = cobalt::dsl::parse_suite(&read(what)?).map_err(|e| e.to_string())?;
+        suite
+            .optimizations
+            .into_iter()
+            .next()
+            .ok_or_else(|| "suite file contains no optimizations".to_string())?
+    } else {
+        cobalt::opts::all_optimizations()
+            .into_iter()
+            .find(|o| &o.name == what)
+            .ok_or_else(|| format!("unknown optimization `{what}`"))?
+    };
+    let cfg = cobalt::synth::SynthConfig {
+        tries,
+        ..Default::default()
+    };
+    match cobalt::synth::find_counterexample(&opt, &cfg) {
+        Some(cx) => Ok(format!("counterexample found for `{}`:\n{cx}", opt.name)),
+        None => Ok(format!(
+            "no counterexample found for `{}` in {tries} tries\n",
+            opt.name
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_tmp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("cobalt_cli_{name}_{}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run_cli(&[]).unwrap().contains("usage"));
+        assert!(run_cli(&["bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn run_command_interprets() {
+        let p = write_tmp("run.il", "proc main(x) { decl y; y := x + 1; return y; }");
+        let out = run_cli(&["run".into(), p.clone(), "--arg".into(), "41".into()]).unwrap();
+        assert_eq!(out, "main(41) = 42\n");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn optimize_command_rewrites() {
+        let p = write_tmp(
+            "opt.il",
+            "proc main(x) { decl a; decl c; a := 2; c := a; return c; }",
+        );
+        let out = run_cli(&[
+            "optimize".into(),
+            p.clone(),
+            "--passes".into(),
+            "const_prop".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("c := 2"), "{out}");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn verify_command_on_suite_file() {
+        let p = write_tmp(
+            "suite.cob",
+            "forward const_prop {
+                stmt(Y := C) followed by !mayDef(Y)
+                until X := Y => X := C
+                with witness eta(Y) == C
+            }",
+        );
+        let out = run_cli(&["verify".into(), p.clone()]).unwrap();
+        assert!(out.contains("all optimizations proved sound"), "{out}");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn validate_command_checks_pairs() {
+        let a = write_tmp("tv_a.il", "proc main(x) { decl a; decl c; a := 2; c := a; return c; }");
+        let b = write_tmp("tv_b.il", "proc main(x) { decl a; decl c; a := 2; c := 2; return c; }");
+        let out = run_cli(&["validate".into(), a.clone(), b.clone()]).unwrap();
+        assert!(out.contains("validated"), "{out}");
+        let bad = write_tmp("tv_c.il", "proc main(x) { decl a; decl c; a := 2; c := 3; return c; }");
+        assert!(run_cli(&["validate".into(), a.clone(), bad.clone()]).is_err());
+        for f in [a, b, bad] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The shipped example programs parse, validate, run, and optimize —
+//! keeping `examples/programs/` honest.
+
+use cobalt::dsl::LabelEnv;
+use cobalt::engine::Engine;
+use cobalt::il::{parse_program, validate, Interp, Value};
+
+fn load(name: &str) -> cobalt::il::Program {
+    let src = std::fs::read_to_string(format!("examples/programs/{name}")).unwrap();
+    let prog = parse_program(&src).unwrap();
+    validate(&prog).unwrap();
+    prog
+}
+
+#[test]
+fn fib_computes_fibonacci() {
+    let prog = load("fib.il");
+    let fib = |n: i64| Interp::new(&prog).run(n).unwrap();
+    assert_eq!(fib(0), Value::Int(0));
+    assert_eq!(fib(1), Value::Int(1));
+    assert_eq!(fib(10), Value::Int(55));
+}
+
+#[test]
+fn example_programs_optimize_and_behave() {
+    let engine = Engine::new(LabelEnv::standard());
+    for name in ["fib.il", "redundant.il", "pointers.il"] {
+        let prog = load(name);
+        let (optimized, _) = engine
+            .optimize_program(
+                &prog,
+                &cobalt::opts::all_analyses(),
+                &cobalt::opts::default_pipeline(),
+                4,
+            )
+            .unwrap();
+        for arg in [0, 1, 7] {
+            assert_eq!(
+                Interp::new(&prog).run(arg).unwrap(),
+                Interp::new(&optimized).run(arg).unwrap(),
+                "{name} arg {arg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn redundant_program_actually_shrinks() {
+    let engine = Engine::new(LabelEnv::standard());
+    let prog = load("redundant.il");
+    let (optimized, n) = engine
+        .optimize_program(
+            &prog,
+            &cobalt::opts::all_analyses(),
+            &cobalt::opts::default_pipeline(),
+            4,
+        )
+        .unwrap();
+    assert!(n >= 3, "only {n} rewrites");
+    let text = cobalt::il::pretty_program(&optimized);
+    // The duplicate x*x computation is gone.
+    assert!(text.matches("x * x").count() <= 1, "{text}");
+}
+
+#[test]
+fn pointer_program_benefits_from_taint_analysis() {
+    let engine = Engine::new(LabelEnv::standard());
+    let prog = load("pointers.il");
+    // Without the analysis, the second load stays.
+    let (without, _) = engine
+        .optimize_program(&prog, &[], &[cobalt::opts::load_elim()], 2)
+        .unwrap();
+    let (with, _) = engine
+        .optimize_program(
+            &prog,
+            &cobalt::opts::all_analyses(),
+            &[cobalt::opts::load_elim()],
+            2,
+        )
+        .unwrap();
+    let loads = |p: &cobalt::il::Program| {
+        cobalt::il::pretty_program(p).matches("*p").count()
+    };
+    assert!(loads(&with) < loads(&without), "taint info should enable load elimination");
+}

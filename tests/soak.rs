@@ -1,0 +1,58 @@
+//! Long-running differential soak test, ignored by default.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo test --release --test soak -- --ignored --nocapture
+//! ```
+//!
+//! Sweeps thousands of generated programs through the whole verified
+//! suite (and the recursive-DAE self-composition) checking semantic
+//! preservation on several inputs each — the heavyweight version of
+//! experiment E7.
+
+use cobalt::dsl::LabelEnv;
+use cobalt::engine::Engine;
+use cobalt::il::{generate, EvalError, GenConfig, Interp};
+
+#[test]
+#[ignore = "soak test: minutes of CPU; run explicitly"]
+fn differential_soak() {
+    let engine = Engine::new(LabelEnv::standard());
+    let analyses = cobalt::opts::all_analyses();
+    let opts = cobalt::opts::default_pipeline();
+    let mut runs = 0u64;
+    let mut checked = 0u64;
+    for seed in 0..4_000u64 {
+        let prog = generate(&GenConfig::sized(36, seed));
+        let (optimized, _) = engine
+            .optimize_program(&prog, &analyses, &opts, 3)
+            .unwrap();
+        let (rec, _) = cobalt::engine::apply_recursive(
+            &engine,
+            optimized.main().unwrap(),
+            &cobalt::opts::dae(),
+        )
+        .unwrap();
+        let final_prog = optimized.with_proc_replaced(rec);
+        for arg in [-7, -1, 0, 1, 2, 9] {
+            runs += 1;
+            match Interp::new(&prog).with_fuel(200_000).run(arg) {
+                Ok(v) => {
+                    checked += 1;
+                    let w = Interp::new(&final_prog)
+                        .with_fuel(400_000)
+                        .run(arg)
+                        .unwrap_or_else(|e| {
+                            panic!("seed {seed} arg {arg}: transformed failed: {e}")
+                        });
+                    assert_eq!(v, w, "seed {seed} arg {arg}");
+                }
+                Err(EvalError::Stuck { .. }) | Err(EvalError::OutOfFuel) => {}
+                Err(other) => panic!("seed {seed}: {other}"),
+            }
+        }
+    }
+    println!("soak: {checked}/{runs} runs produced values; all preserved");
+    assert!(checked > runs / 3, "generator health check");
+}

@@ -1,0 +1,62 @@
+//! The claims in docs/TUTORIAL.md, kept honest by CI.
+
+use cobalt::dsl::{parse_suite, LabelEnv};
+use cobalt::verify::{SemanticMeanings, Verifier};
+
+const TUTORIAL_OPT: &str = "forward zero_branch_prop {
+    stmt(Y := 0)
+    followed by !mayDef(Y)
+    until if Y goto I1 else I2 => if 0 goto I1 else I2
+    with witness eta(Y) == 0
+}";
+
+#[test]
+fn tutorial_optimization_parses_and_proves() {
+    let suite = parse_suite(TUTORIAL_OPT).unwrap();
+    assert_eq!(suite.optimizations.len(), 1);
+    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
+    let report = verifier
+        .verify_optimization(&suite.optimizations[0])
+        .unwrap();
+    assert!(report.all_proved(), "{:?}", report.failures());
+}
+
+#[test]
+fn tutorial_optimization_runs() {
+    use cobalt::engine::{AnalyzedProc, Engine};
+    let suite = parse_suite(TUTORIAL_OPT).unwrap();
+    let engine = Engine::new(LabelEnv::standard());
+    let prog = cobalt::il::parse_program(
+        "proc main(x) {
+            decl flag;
+            flag := 0;
+            if flag goto 3 else 4;
+            return x;
+            return flag;
+         }",
+    )
+    .unwrap();
+    let ap = AnalyzedProc::new(prog.main().unwrap().clone()).unwrap();
+    let (optimized, applied) = engine.apply(&ap, &suite.optimizations[0]).unwrap();
+    assert_eq!(applied.len(), 1);
+    assert_eq!(optimized.stmts[2].to_string(), "if 0 goto 3 else 4");
+}
+
+#[test]
+fn tutorial_sloppy_variant_fails_as_described() {
+    let suite = parse_suite(
+        "forward sloppy {
+            stmt(Y := 0)
+            followed by true
+            until if Y goto I1 else I2 => if 0 goto I1 else I2
+            with witness eta(Y) == 0
+         }",
+    )
+    .unwrap();
+    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
+    let report = verifier
+        .verify_optimization(&suite.optimizations[0])
+        .unwrap();
+    assert!(!report.all_proved());
+    assert!(report.failures().contains(&"F2/assign_var"));
+}

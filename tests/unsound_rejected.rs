@@ -1,0 +1,75 @@
+//! Experiment E2: the debugging story of paper §6.
+//!
+//! The plausible-but-unsound redundant-load elimination (which forgot
+//! that a direct assignment can change `*P` through aliasing) is
+//! rejected by the checker with a counterexample context; the fixed,
+//! taint-aware version is proven sound; and the engine demonstrates the
+//! concrete miscompilation the bug would have caused.
+
+use cobalt::dsl::LabelEnv;
+use cobalt::engine::{AnalyzedProc, Engine};
+use cobalt::il::{Interp, Value};
+use cobalt::verify::{SemanticMeanings, Verifier};
+
+fn verifier() -> Verifier {
+    Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
+}
+
+#[test]
+fn buggy_load_elimination_is_rejected() {
+    let report = verifier()
+        .verify_optimization(&cobalt::opts::buggy::load_elim_no_alias())
+        .unwrap();
+    assert!(!report.all_proved(), "the unsound variant must not verify");
+    // The failure shows up in witness preservation (F2): a direct
+    // assignment shape breaks η(X) = η(*P).
+    let failures = report.failures();
+    assert!(
+        failures.iter().any(|id| id.starts_with("F2/assign")),
+        "expected an F2 assignment failure, got {failures:?}"
+    );
+    // A counterexample context is reported (paper §7).
+    let failed = report.outcomes.iter().find(|o| !o.proved).unwrap();
+    assert!(!failed.detail.is_empty());
+}
+
+#[test]
+fn fixed_load_elimination_is_proved() {
+    let report = verifier()
+        .verify_optimization(&cobalt::opts::load_elim())
+        .unwrap();
+    assert!(report.all_proved(), "{:?}", report.failures());
+}
+
+#[test]
+fn the_bug_is_a_real_miscompilation() {
+    let prog = cobalt::opts::buggy::counterexample_program();
+    assert_eq!(Interp::new(&prog).run(0).unwrap(), Value::Int(9));
+
+    let engine = Engine::new(LabelEnv::standard());
+    let ap = AnalyzedProc::new(prog.main().unwrap().clone()).unwrap();
+    let (bad, applied) = engine
+        .apply(&ap, &cobalt::opts::buggy::load_elim_no_alias())
+        .unwrap();
+    assert!(!applied.is_empty());
+    let bad_prog = cobalt::il::Program::new(vec![bad]);
+    assert_eq!(
+        Interp::new(&bad_prog).run(0).unwrap(),
+        Value::Int(7),
+        "the buggy optimization silently changes the result"
+    );
+}
+
+#[test]
+fn translation_validation_also_catches_it_but_only_per_run() {
+    // The alternative trust story: validate each compile. It catches
+    // this run, but gives no once-and-for-all guarantee.
+    let prog = cobalt::opts::buggy::counterexample_program();
+    let engine = Engine::new(LabelEnv::standard());
+    let ap = AnalyzedProc::new(prog.main().unwrap().clone()).unwrap();
+    let (bad, _) = engine
+        .apply(&ap, &cobalt::opts::buggy::load_elim_no_alias())
+        .unwrap();
+    let report = cobalt::tv::validate_proc(prog.main().unwrap(), &bad).unwrap();
+    assert!(!report.validated());
+}
