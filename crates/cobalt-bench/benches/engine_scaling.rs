@@ -8,9 +8,10 @@
 use cobalt_bench::{bench_program, SIZES};
 use cobalt_dsl::LabelEnv;
 use cobalt_engine::{AnalyzedProc, Engine};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cobalt_support::bench::{Bench, BenchId, Throughput};
+use cobalt_support::{bench_group, bench_main};
 
-fn bench_single_pass_scaling(c: &mut Criterion) {
+fn bench_single_pass_scaling(c: &mut Bench) {
     let engine = Engine::new(LabelEnv::standard());
     let const_prop = cobalt_opts::const_prop();
     let dae = cobalt_opts::dae();
@@ -19,13 +20,13 @@ fn bench_single_pass_scaling(c: &mut Criterion) {
         let prog = bench_program(n, 7);
         let main = prog.main().unwrap().clone();
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("const_prop", n), &main, |b, m| {
+        group.bench_with_input(BenchId::new("const_prop", n), &main, |b, m| {
             b.iter(|| {
                 let ap = AnalyzedProc::new(m.clone()).unwrap();
                 engine.apply(&ap, &const_prop).unwrap().1.len()
             })
         });
-        group.bench_with_input(BenchmarkId::new("dae", n), &main, |b, m| {
+        group.bench_with_input(BenchId::new("dae", n), &main, |b, m| {
             b.iter(|| {
                 let ap = AnalyzedProc::new(m.clone()).unwrap();
                 engine.apply(&ap, &dae).unwrap().1.len()
@@ -35,7 +36,7 @@ fn bench_single_pass_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_full_suite(c: &mut Criterion) {
+fn bench_full_suite(c: &mut Bench) {
     let engine = Engine::new(LabelEnv::standard());
     let opts = cobalt_opts::all_optimizations();
     let analyses = cobalt_opts::all_analyses();
@@ -43,24 +44,24 @@ fn bench_full_suite(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &SIZES[..3] {
         let prog = bench_program(n, 11);
-        group.bench_with_input(BenchmarkId::new("one_round", n), &prog, |b, p| {
+        group.bench_with_input(BenchId::new("one_round", n), &prog, |b, p| {
             b.iter(|| engine.optimize_program(p, &analyses, &opts, 1).unwrap().1)
         });
-        group.bench_with_input(BenchmarkId::new("to_fixpoint", n), &prog, |b, p| {
+        group.bench_with_input(BenchId::new("to_fixpoint", n), &prog, |b, p| {
             b.iter(|| engine.optimize_program(p, &analyses, &opts, 4).unwrap().1)
         });
     }
     group.finish();
 }
 
-fn bench_taint_analysis(c: &mut Criterion) {
+fn bench_taint_analysis(c: &mut Bench) {
     let engine = Engine::new(LabelEnv::standard());
     let taint = cobalt_opts::taint_analysis();
     let mut group = c.benchmark_group("taint_analysis");
     for &n in SIZES {
         let prog = bench_program(n, 13);
         let main = prog.main().unwrap().clone();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &main, |b, m| {
+        group.bench_with_input(BenchId::from_parameter(n), &main, |b, m| {
             b.iter(|| {
                 let mut ap = AnalyzedProc::new(m.clone()).unwrap();
                 engine.run_pure_analysis(&mut ap, &taint).unwrap()
@@ -70,10 +71,10 @@ fn bench_taint_analysis(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_single_pass_scaling,
     bench_full_suite,
     bench_taint_analysis
 );
-criterion_main!(benches);
+bench_main!(benches);

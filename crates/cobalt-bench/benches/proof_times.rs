@@ -7,13 +7,14 @@
 
 use cobalt_dsl::LabelEnv;
 use cobalt_verify::{SemanticMeanings, Verifier};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cobalt_support::bench::Bench;
+use cobalt_support::{bench_group, bench_main};
 
 fn verifier() -> Verifier {
     Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
 }
 
-fn bench_proof_times(c: &mut Criterion) {
+fn bench_proof_times(c: &mut Bench) {
     let v = verifier();
     let mut group = c.benchmark_group("proof_times");
     group.sample_size(10);
@@ -49,5 +50,5 @@ fn bench_proof_times(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_proof_times);
-criterion_main!(benches);
+bench_group!(benches, bench_proof_times);
+bench_main!(benches);

@@ -5,14 +5,15 @@
 //! monolithic vocabulary.
 
 use cobalt_logic::{Cc, Formula, Limits, ProofTask, Solver, TermBank};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cobalt_support::bench::{Bench, BenchId};
+use cobalt_support::{bench_group, bench_main};
 
 /// Raw congruence closure: merge a chain and let congruence propagate
 /// through n layers of function applications.
-fn bench_congruence_closure(c: &mut Criterion) {
+fn bench_congruence_closure(c: &mut Bench) {
     let mut group = c.benchmark_group("prover/congruence");
     for &n in &[32usize, 128, 512] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+        group.bench_with_input(BenchId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let mut bank = TermBank::new();
                 let f = bank.sym("f");
@@ -32,10 +33,10 @@ fn bench_congruence_closure(c: &mut Criterion) {
 
 /// Array reasoning: read-over-write chains of increasing depth force
 /// one case split per layer.
-fn bench_array_chains(c: &mut Criterion) {
+fn bench_array_chains(c: &mut Bench) {
     let mut group = c.benchmark_group("prover/array_chain");
     for &depth in &[4usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+        group.bench_with_input(BenchId::from_parameter(depth), &depth, |b, &depth| {
             b.iter(|| {
                 let mut s = Solver::new();
                 let m0 = s.bank.app0("m");
@@ -64,10 +65,10 @@ fn bench_array_chains(c: &mut Criterion) {
 
 /// Trigger instantiation: a pointwise store-agreement hypothesis must
 /// be instantiated at each of n probe locations.
-fn bench_instantiation(c: &mut Criterion) {
+fn bench_instantiation(c: &mut Bench) {
     let mut group = c.benchmark_group("prover/instantiation");
     for &n in &[4usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+        group.bench_with_input(BenchId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let mut s = Solver::new();
                 let (m1, m2) = (s.bank.app0("m1"), s.bank.app0("m2"));
@@ -101,10 +102,10 @@ fn bench_instantiation(c: &mut Criterion) {
 /// numbers of irrelevant variable constants shows why the obligation
 /// builders keep per-shape vocabularies minimal (each extra pair adds
 /// an injectivity disjunction, i.e. a potential case split).
-fn bench_vocabulary_ablation(c: &mut Criterion) {
+fn bench_vocabulary_ablation(c: &mut Bench) {
     let mut group = c.benchmark_group("prover/vocab_ablation");
     for &extra in &[0usize, 4, 8, 12] {
-        group.bench_with_input(BenchmarkId::from_parameter(extra), &extra, |b, &extra| {
+        group.bench_with_input(BenchId::from_parameter(extra), &extra, |b, &extra| {
             b.iter(|| {
                 let mut s = Solver::with_limits(Limits::default());
                 let env = s.bank.app0("env");
@@ -154,11 +155,11 @@ fn bench_vocabulary_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_congruence_closure,
     bench_array_chains,
     bench_instantiation,
     bench_vocabulary_ablation
 );
-criterion_main!(benches);
+bench_main!(benches);

@@ -12,11 +12,12 @@ use cobalt_dsl::LabelEnv;
 use cobalt_engine::Engine;
 use cobalt_tv::validate_proc;
 use cobalt_verify::{SemanticMeanings, Verifier};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cobalt_support::bench::{Bench, BenchId};
+use cobalt_support::{bench_group, bench_main};
 
 /// The one-time cost: prove constant propagation sound, once and for
 /// all programs.
-fn bench_once_and_for_all(c: &mut Criterion) {
+fn bench_once_and_for_all(c: &mut Bench) {
     let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
     let const_prop = cobalt_opts::const_prop();
     c.bench_function("trust/prove_once", |b| {
@@ -29,7 +30,7 @@ fn bench_once_and_for_all(c: &mut Criterion) {
 
 /// The per-compile cost: optimize a program and validate the output,
 /// for each program size.
-fn bench_validate_every_compile(c: &mut Criterion) {
+fn bench_validate_every_compile(c: &mut Bench) {
     let engine = Engine::new(LabelEnv::standard());
     let const_prop = cobalt_opts::const_prop();
     let mut group = c.benchmark_group("trust/validate_per_compile");
@@ -40,7 +41,7 @@ fn bench_validate_every_compile(c: &mut Criterion) {
             .unwrap();
         let orig = prog.main().unwrap().clone();
         let new = optimized.main().unwrap().clone();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(orig, new), |b, (o, t)| {
+        group.bench_with_input(BenchId::from_parameter(n), &(orig, new), |b, (o, t)| {
             b.iter(|| {
                 let report = validate_proc(o, t).unwrap();
                 assert!(report.validated());
@@ -52,7 +53,7 @@ fn bench_validate_every_compile(c: &mut Criterion) {
 
 /// The compile-time overhead comparison at a fixed size: optimization
 /// alone vs optimization + validation.
-fn bench_compile_overhead(c: &mut Criterion) {
+fn bench_compile_overhead(c: &mut Bench) {
     let engine = Engine::new(LabelEnv::standard());
     let opts = [cobalt_opts::const_prop(), cobalt_opts::dae()];
     let prog = bench_program(160, 23);
@@ -81,10 +82,10 @@ fn bench_compile_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
+bench_group!(
     benches,
     bench_once_and_for_all,
     bench_validate_every_compile,
     bench_compile_overhead
 );
-criterion_main!(benches);
+bench_main!(benches);

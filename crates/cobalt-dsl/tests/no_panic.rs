@@ -1,7 +1,8 @@
 //! Robustness: the parsers return errors, never panic, on arbitrary
 //! input — including near-miss mutations of valid sources.
 
-use proptest::prelude::*;
+use cobalt_support::prop::{any_char, fuzz_string, Config};
+use cobalt_support::props;
 
 const VALID: &str = "forward const_prop {
     stmt(Y := C)
@@ -10,23 +11,20 @@ const VALID: &str = "forward const_prop {
     with witness eta(Y) == C
 }";
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+props! {
+    config = Config::with_cases(256);
 
-    #[test]
-    fn random_input_never_panics(src in "\\PC{0,200}") {
+    fn random_input_never_panics(src in fuzz_string(200)) {
         let _ = cobalt_dsl::parse_optimization(&src);
         let _ = cobalt_dsl::parse_suite(&src);
     }
 
-    #[test]
     fn truncations_of_valid_input_never_panic(cut in 0usize..200) {
         let src: String = VALID.chars().take(cut).collect();
         let _ = cobalt_dsl::parse_optimization(&src);
     }
 
-    #[test]
-    fn single_char_mutations_never_panic(pos in 0usize..150, c in proptest::char::any()) {
+    fn single_char_mutations_never_panic(pos in 0usize..150, c in any_char()) {
         let mut chars: Vec<char> = VALID.chars().collect();
         if pos < chars.len() {
             chars[pos] = c;

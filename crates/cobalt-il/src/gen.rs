@@ -8,8 +8,7 @@
 //! library has plenty of opportunities to fire.
 
 use crate::ast::{BaseExpr, Expr, Lhs, OpKind, Proc, Program, Stmt, Var};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cobalt_support::Rng;
 
 /// Configuration for [`generate`].
 #[derive(Debug, Clone, PartialEq)]
@@ -71,7 +70,7 @@ impl GenConfig {
 /// assert!(validate(&prog).is_ok());
 /// ```
 pub fn generate(config: &GenConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut procs = Vec::new();
     let helper_names: Vec<String> = (0..config.num_helpers).map(|i| format!("h{i}")).collect();
     for name in &helper_names {
@@ -83,17 +82,17 @@ pub fn generate(config: &GenConfig) -> Program {
     Program::new(all)
 }
 
-fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+fn pick<'a, T>(rng: &mut Rng, items: &'a [T]) -> &'a T {
     &items[rng.gen_range(0..items.len())]
 }
 
-fn small_const(rng: &mut StdRng) -> i64 {
+fn small_const(rng: &mut Rng) -> i64 {
     // Small palette: encourages repeated constants, enabling const-prop,
     // CSE and branch folding to fire.
     *pick(rng, &[0, 1, 2, 3, 5, 7])
 }
 
-fn gen_helper(name: &str, rng: &mut StdRng) -> Proc {
+fn gen_helper(name: &str, rng: &mut Rng) -> Proc {
     // Straight-line: decl t; t := <expr over n>; ...; return t.
     let n = Var::new("n");
     let t = Var::new("t");
@@ -125,7 +124,7 @@ struct MainGen<'a> {
     config: &'a GenConfig,
 }
 
-fn gen_main(config: &GenConfig, helpers: &[String], rng: &mut StdRng) -> Proc {
+fn gen_main(config: &GenConfig, helpers: &[String], rng: &mut Rng) -> Proc {
     let param = Var::new("arg");
     let total_vars = config.num_vars.max(2);
     let n_pointers = if config.pointer_ratio > 0.0 {
@@ -175,7 +174,7 @@ fn gen_main(config: &GenConfig, helpers: &[String], rng: &mut StdRng) -> Proc {
 }
 
 impl MainGen<'_> {
-    fn base(&self, rng: &mut StdRng) -> BaseExpr {
+    fn base(&self, rng: &mut Rng) -> BaseExpr {
         if rng.gen_bool(0.4) {
             BaseExpr::Const(small_const(rng))
         } else {
@@ -183,7 +182,7 @@ impl MainGen<'_> {
         }
     }
 
-    fn scalar_expr(&self, rng: &mut StdRng) -> Expr {
+    fn scalar_expr(&self, rng: &mut Rng) -> Expr {
         match rng.gen_range(0..10) {
             0..=2 => Expr::Base(self.base(rng)),
             3..=4 => Expr::Base(BaseExpr::Var(pick(rng, &self.scalars).clone())),
@@ -203,8 +202,8 @@ impl MainGen<'_> {
         }
     }
 
-    fn gen_stmt(&self, rng: &mut StdRng, at: usize, last: usize) -> Stmt {
-        let roll: f64 = rng.gen();
+    fn gen_stmt(&self, rng: &mut Rng, at: usize, last: usize) -> Stmt {
+        let roll: f64 = rng.gen_f64();
         if roll < self.config.branch_ratio && at + 2 < last {
             // Forward branch: both targets strictly beyond this index,
             // at most the return statement.
@@ -224,7 +223,7 @@ impl MainGen<'_> {
                 arg: self.base(rng),
             };
         }
-        let ptr_roll: f64 = rng.gen();
+        let ptr_roll: f64 = rng.gen_f64();
         if ptr_roll < self.config.pointer_ratio && !self.pointers.is_empty() {
             let p = pick(rng, &self.pointers).clone();
             return match rng.gen_range(0..4) {

@@ -1,0 +1,82 @@
+//! Regression tests for generator determinism: the same seed must
+//! yield byte-identical programs — across calls, threads, and
+//! configurations — with no hidden global state. Differential testing,
+//! benchmark trajectories, and failing-seed reports all depend on this.
+
+use cobalt_il::{generate, pretty_program, GenConfig};
+
+#[test]
+fn same_seed_yields_byte_identical_programs() {
+    for seed in [0u64, 1, 7, 42, 0xDEAD_BEEF, u64::MAX] {
+        for size in [1usize, 8, 30, 120] {
+            let a = pretty_program(&generate(&GenConfig::sized(size, seed)));
+            let b = pretty_program(&generate(&GenConfig::sized(size, seed)));
+            assert_eq!(
+                a.as_bytes(),
+                b.as_bytes(),
+                "seed {seed} size {size}: repeated generation diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn generation_has_no_thread_or_global_state() {
+    // Interleave generations with other seeds and run on fresh threads:
+    // output must depend on the config alone.
+    let reference = pretty_program(&generate(&GenConfig::sized(30, 99)));
+    let _noise = generate(&GenConfig::sized(10, 1));
+    let again = pretty_program(&generate(&GenConfig::sized(30, 99)));
+    assert_eq!(reference, again, "interleaved generation diverged");
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| pretty_program(&generate(&GenConfig::sized(30, 99))))
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(
+            h.join().expect("generator thread panicked"),
+            reference,
+            "cross-thread generation diverged"
+        );
+    }
+}
+
+#[test]
+fn distinct_seeds_yield_distinct_programs() {
+    let outputs: Vec<String> = (0..20)
+        .map(|seed| pretty_program(&generate(&GenConfig::sized(30, seed))))
+        .collect();
+    for i in 0..outputs.len() {
+        for j in (i + 1)..outputs.len() {
+            assert_ne!(outputs[i], outputs[j], "seeds {i} and {j} collided");
+        }
+    }
+}
+
+/// FNV-1a, so the pinned value below is independent of `std`'s
+/// unstable-by-design `DefaultHasher`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn generator_stream_is_pinned() {
+    // Pins the exact byte stream for one seed. If this fails, the
+    // generator or PRNG changed behaviour: every stored failing seed
+    // and benchmark trajectory silently refers to different programs.
+    // If the change is intentional, update the hash and say so in the
+    // changelog.
+    let text = pretty_program(&generate(&GenConfig::sized(30, 42)));
+    assert_eq!(
+        fnv1a(text.as_bytes()),
+        0x9419_9620_5c86_903d,
+        "generator output for seed 42 changed:\n{text}"
+    );
+}

@@ -1,21 +1,20 @@
 //! Robustness: the IL parser returns errors, never panics.
 
-use proptest::prelude::*;
+use cobalt_support::prop::{any_char, fuzz_string, Config};
+use cobalt_support::props;
 
 const VALID: &str = "proc main(x) { decl y; y := x + 1; if y goto 3 else 1; return y; }";
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+props! {
+    config = Config::with_cases(256);
 
-    #[test]
-    fn random_input_never_panics(src in "\\PC{0,200}") {
+    fn random_input_never_panics(src in fuzz_string(200)) {
         let _ = cobalt_il::parse_program(&src);
         let _ = cobalt_il::parse_stmt(&src);
         let _ = cobalt_il::parse_expr(&src);
     }
 
-    #[test]
-    fn mutations_of_valid_input_never_panic(pos in 0usize..70, c in proptest::char::any()) {
+    fn mutations_of_valid_input_never_panic(pos in 0usize..70, c in any_char()) {
         let mut chars: Vec<char> = VALID.chars().collect();
         if pos < chars.len() {
             chars[pos] = c;

@@ -5,12 +5,12 @@
 use cobalt_il::{
     generate, parse_program, pretty_program, validate, EvalError, GenConfig, Interp,
 };
-use proptest::prelude::*;
+use cobalt_support::prop::Config;
+use cobalt_support::{prop_assert, prop_assert_eq, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+props! {
+    config = Config::with_cases(96);
 
-    #[test]
     fn pretty_parse_roundtrip(seed in 0u64..10_000, size in 5usize..60) {
         let prog = generate(&GenConfig::sized(size, seed));
         let printed = pretty_program(&prog);
@@ -20,13 +20,11 @@ proptest! {
         prop_assert_eq!(printed, pretty_program(&reparsed));
     }
 
-    #[test]
     fn generated_programs_are_well_formed(seed in 0u64..10_000, size in 1usize..120) {
         let prog = generate(&GenConfig::sized(size, seed));
         prop_assert!(validate(&prog).is_ok());
     }
 
-    #[test]
     fn interpretation_is_deterministic(seed in 0u64..5_000, arg in -10i64..10) {
         let prog = generate(&GenConfig::sized(25, seed));
         let a = Interp::new(&prog).run(arg);
@@ -41,7 +39,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn fuel_only_delays_the_same_answer(seed in 0u64..2_000, arg in -3i64..5) {
         // A run that completes with small fuel completes identically
         // with more fuel.

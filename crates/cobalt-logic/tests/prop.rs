@@ -8,7 +8,8 @@
 //! truth-table enumeration for propositional structure.
 
 use cobalt_logic::{Formula, ProofTask, Solver};
-use proptest::prelude::*;
+use cobalt_support::prop::{any_bool, vec, Config};
+use cobalt_support::{prop_assert_eq, props};
 
 // ---------------------------------------------------------------------
 // Equality closure over constants, oracle: naive union-find.
@@ -21,12 +22,11 @@ fn uf_find(parent: &mut [usize], mut x: usize) -> usize {
     x
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    config = Config::with_cases(128);
 
-    #[test]
     fn equality_reasoning_matches_union_find(
-        eqs in proptest::collection::vec((0usize..6, 0usize..6), 0..8),
+        eqs in vec((0usize..6, 0usize..6), 0..8),
         goal in (0usize..6, 0usize..6),
     ) {
         // Oracle.
@@ -54,9 +54,8 @@ proptest! {
         prop_assert_eq!(out.is_proved(), expected);
     }
 
-    #[test]
     fn congruence_is_sound(
-        eqs in proptest::collection::vec((0usize..4, 0usize..4), 0..5),
+        eqs in vec((0usize..4, 0usize..4), 0..5),
         probe in (0usize..4, 0usize..4),
     ) {
         // Oracle on f-applications: f(a) = f(b) iff a ~ b (freeness).
@@ -87,11 +86,10 @@ proptest! {
     // Arrays with concrete integer keys, oracle: a BTreeMap.
     // -----------------------------------------------------------------
 
-    #[test]
     fn array_reads_match_concrete_maps(
-        writes in proptest::collection::vec((0i64..5, 0i64..100), 1..8),
+        writes in vec((0i64..5, 0i64..100), 1..8),
         probe in 0i64..5,
-        corrupt in proptest::bool::ANY,
+        corrupt in any_bool(),
     ) {
         use std::collections::BTreeMap;
         let mut model: BTreeMap<i64, i64> = BTreeMap::new();
@@ -127,14 +125,10 @@ proptest! {
     // Propositional structure, oracle: truth tables.
     // -----------------------------------------------------------------
 
-    #[test]
     fn propositional_implication_matches_truth_tables(
-        clauses in proptest::collection::vec(
-            proptest::collection::vec((0usize..4, proptest::bool::ANY), 1..3),
-            0..4,
-        ),
+        clauses in vec(vec((0usize..4, any_bool()), 1..3), 0..4),
         goal_atom in 0usize..4,
-        goal_neg in proptest::bool::ANY,
+        goal_neg in any_bool(),
     ) {
         // Oracle: hyps ⊨ goal iff every assignment satisfying all
         // clauses satisfies the goal literal.

@@ -1,0 +1,28 @@
+//! # cobalt-support
+//!
+//! Hermetic, zero-dependency infrastructure shared by the rest of the
+//! Cobalt workspace:
+//!
+//! * [`rng`] — a seedable, deterministic pseudo-random number generator
+//!   (SplitMix64 for seeding, Xoshiro256++ as the main stream) standing
+//!   in for the `rand` crate;
+//! * [`prop`] — a small deterministic property-testing harness (seeded
+//!   case generation, fixed iteration budget, failing-seed reporting,
+//!   best-effort shrinking) standing in for `proptest`, driven by the
+//!   [`props!`](crate::props) macro;
+//! * [`bench`] — a minimal benchmark harness (warmup, timed samples,
+//!   median/p95, JSON-lines output) standing in for `criterion`.
+//!
+//! The workspace's hermetic-build policy (see `DESIGN.md`) forbids
+//! external registry dependencies so that `cargo build --release
+//! --offline` always succeeds and every randomized artifact is
+//! reproducible by seed. This crate is what makes that policy viable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::{Rng, SplitMix64};

@@ -4,14 +4,14 @@
 use cobalt_dsl::LabelEnv;
 use cobalt_engine::Engine;
 use cobalt_il::{generate, GenConfig, Interp, Program};
+use cobalt_support::prop::Config;
+use cobalt_support::{prop_assert, props};
 use cobalt_tv::validate_proc;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    config = Config::with_cases(48);
 
     /// Completeness on the suite: each single pass's output validates.
-    #[test]
     fn validator_accepts_suite_outputs(seed in 0u64..4_000) {
         let prog = generate(&GenConfig::sized(24, seed));
         let engine = Engine::new(LabelEnv::standard());
@@ -43,7 +43,6 @@ proptest! {
 
     /// Soundness: a random single-statement corruption that observably
     /// changes behaviour is never validated.
-    #[test]
     fn validator_rejects_observable_corruptions(
         seed in 0u64..4_000,
         victim in 0usize..24,

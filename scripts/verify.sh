@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run fully offline to prove the workspace is
+# hermetic (no external registry dependencies; see DESIGN.md).
+#
+# Usage: scripts/verify.sh [--benches]
+#   --benches   additionally smoke-run every benchmark in fast mode
+#               (COBALT_BENCH_FAST=1) to check the timing harness.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+if [[ "${1:-}" == "--benches" ]]; then
+    for bench in proof_times engine_scaling tv_vs_proof prover_ablation; do
+        echo "== cargo bench --bench ${bench} (fast mode)"
+        COBALT_BENCH_FAST=1 cargo bench --offline -p cobalt-bench --bench "${bench}"
+    done
+fi
+
+echo "verify: OK"

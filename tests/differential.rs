@@ -6,7 +6,8 @@
 use cobalt::dsl::LabelEnv;
 use cobalt::engine::{AnalyzedProc, Engine};
 use cobalt::il::{generate, EvalError, GenConfig, Interp, Program, Value};
-use proptest::prelude::*;
+use cobalt_support::prop::Config;
+use cobalt_support::props;
 
 /// Runs both programs on `arg`; panics if the original returns a value
 /// and the transformed one disagrees (the paper's notion of semantic
@@ -26,10 +27,9 @@ fn check_equivalent(orig: &Program, new: &Program, arg: i64, context: &str) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    config = Config::with_cases(48);
 
-    #[test]
     fn suite_preserves_semantics_on_random_programs(seed in 0u64..5_000, arg in -4i64..10) {
         let prog = generate(&GenConfig::sized(30, seed));
         let engine = Engine::new(LabelEnv::standard());
@@ -55,7 +55,6 @@ proptest! {
         check_equivalent(&prog, &all_opt, arg, "full registry");
     }
 
-    #[test]
     fn random_subsets_of_legal_sites_are_safe(
         seed in 0u64..2_000,
         mask in 0usize..256,
@@ -84,7 +83,6 @@ proptest! {
         }
     }
 
-    #[test]
     fn recursive_dae_preserves_semantics(seed in 0u64..3_000, arg in -3i64..8) {
         // The §5.2 self-composition feature, exercised end to end.
         let prog = generate(&GenConfig::sized(24, seed));
@@ -96,7 +94,6 @@ proptest! {
         check_equivalent(&prog, &new_prog, arg, "recursive DAE");
     }
 
-    #[test]
     fn pre_pipeline_preserves_semantics(seed in 0u64..3_000, arg in -3i64..8) {
         let prog = generate(&GenConfig::sized(26, seed));
         let engine = Engine::new(LabelEnv::standard());

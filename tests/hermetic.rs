@@ -1,0 +1,145 @@
+//! Guard for the hermetic-build policy (DESIGN.md): no workspace
+//! manifest may declare a dependency on an external registry. Every
+//! dependency must be an in-tree `path` dependency or a
+//! `workspace = true` reference to one. This is what keeps
+//! `cargo build --release --offline` working with zero network access
+//! and every randomized artifact reproducible by seed.
+
+use std::path::{Path, PathBuf};
+
+/// Collects the root manifest plus every `crates/*/Cargo.toml`.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir).expect("crates/ must exist") {
+        let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    assert!(
+        manifests.len() >= 9,
+        "expected the root and at least 8 member manifests, found {}",
+        manifests.len()
+    );
+    manifests
+}
+
+/// True for section headers whose entries declare dependencies:
+/// `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// `[workspace.dependencies]`, `[target.'...'.dependencies]`, and the
+/// dotted single-dependency form `[dependencies.foo]`.
+fn is_dependency_section(header: &str) -> bool {
+    header.ends_with("dependencies") || header.contains("dependencies.")
+}
+
+/// Scans one manifest, returning `"file: line"` strings for every
+/// dependency entry that is neither a path dependency nor a workspace
+/// reference. The scan is line-based (the workspace uses inline tables
+/// only) and intentionally errs toward flagging anything it cannot
+/// positively identify as hermetic.
+fn violations_in(manifest: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(manifest)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", manifest.display()));
+    let name = manifest
+        .strip_prefix(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .unwrap_or(manifest)
+        .display()
+        .to_string();
+    let mut violations = Vec::new();
+    let mut in_dep_section = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            let header = line.trim_matches(|c| c == '[' || c == ']');
+            in_dep_section = is_dependency_section(header);
+            // `[dependencies.foo]` with a following `version = ...` and
+            // no `path = ...` would need multi-line tracking; forbid
+            // the form outright to keep the guard simple and sound.
+            if header.contains("dependencies.") {
+                violations.push(format!(
+                    "{name}:{}: dotted dependency table `[{header}]` — use an \
+                     inline table with a `path` key instead",
+                    lineno + 1
+                ));
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let hermetic = value.contains("path =")
+            || value.contains("path=")
+            || (key.ends_with(".workspace") && value == "true")
+            || value.contains("workspace = true")
+            || value.contains("workspace=true");
+        if !hermetic {
+            violations.push(format!(
+                "{name}:{}: `{line}` is not a path or workspace dependency",
+                lineno + 1
+            ));
+        }
+    }
+    violations
+}
+
+#[test]
+fn no_external_registry_dependencies() {
+    let mut all = Vec::new();
+    for manifest in workspace_manifests() {
+        all.extend(violations_in(&manifest));
+    }
+    assert!(
+        all.is_empty(),
+        "external (non-path) dependencies violate the hermetic-build \
+         policy — vendor the code into a workspace crate instead \
+         (see DESIGN.md):\n  {}",
+        all.join("\n  ")
+    );
+}
+
+#[test]
+fn guard_catches_registry_dependencies() {
+    // Self-test of the scanner on a manifest snippet that reintroduces
+    // every forbidden form.
+    let dir = std::env::temp_dir().join("cobalt-hermetic-guard-selftest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("Cargo.toml");
+    std::fs::write(
+        &manifest,
+        r#"[package]
+name = "bad"
+
+[dependencies]
+rand = "0.8"
+serde = { version = "1", features = ["derive"] }
+good = { path = "../good" }
+also-good.workspace = true
+
+[dev-dependencies]
+proptest = "1"
+
+[dependencies.criterion]
+version = "0.5"
+"#,
+    )
+    .unwrap();
+    let violations = violations_in(&manifest);
+    std::fs::remove_file(&manifest).ok();
+    let text = violations.join("\n");
+    for bad in ["rand", "serde", "proptest", "criterion"] {
+        assert!(text.contains(bad), "guard missed `{bad}`:\n{text}");
+    }
+    assert!(
+        !text.contains("good"),
+        "guard flagged a hermetic dependency:\n{text}"
+    );
+}
