@@ -71,9 +71,11 @@ pub mod dataflow;
 pub mod engine;
 pub mod error;
 pub mod recursive;
+pub mod resilient;
 
 pub use analyzed::AnalyzedProc;
 pub use dataflow::{backward_cont_facts, backward_site_facts, forward_in_facts, FactSet};
 pub use engine::Engine;
 pub use recursive::apply_recursive;
 pub use error::EngineError;
+pub use resilient::{PassFailure, PipelineReport};

@@ -1,0 +1,411 @@
+//! Fault-isolating pipeline drivers: graceful degradation for the
+//! optimization engine.
+//!
+//! [`Engine::optimize_proc`](crate::Engine::optimize_proc) propagates
+//! the first pass error and aborts the pipeline; a pass that *panics*
+//! takes the whole process down. The resilient drivers here instead
+//! isolate every pass (and every pure analysis) per round: a pass that
+//! returns an error or panics is recorded as a typed [`PassFailure`],
+//! quarantined for the remaining rounds, and the surviving passes keep
+//! running on the last good program.
+//!
+//! Skipping an arbitrary subset of passes is *sound* by construction:
+//! each optimization's `choose` heuristic already selects an arbitrary
+//! subset of its legal sites (paper footnote 4), and noninterference
+//! (§4.1, exercised by the E7 differential tests) guarantees that every
+//! subset of legal transformations preserves semantics. Dropping a pass
+//! entirely is just the empty subset, so a degraded pipeline is a less
+//! optimized — never a less correct — compiler.
+
+use crate::analyzed::AnalyzedProc;
+use crate::engine::Engine;
+use crate::error::EngineError;
+use cobalt_dsl::{Optimization, PureAnalysis};
+use cobalt_il::{Proc, Program};
+use cobalt_support::fault;
+use std::collections::HashSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One isolated pass (or analysis) failure inside a resilient pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassFailure {
+    /// The procedure being optimized when the failure occurred.
+    pub proc: String,
+    /// The failing pass or pure analysis, e.g. `"dae"` or
+    /// `"analysis:taint"`.
+    pub pass: String,
+    /// The 0-based pipeline round in which it failed.
+    pub round: usize,
+    /// The error message or `panicked: …` description.
+    pub reason: String,
+}
+
+impl fmt::Display for PassFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: pass `{}` failed in round {}: {}",
+            self.proc, self.pass, self.round, self.reason
+        )
+    }
+}
+
+/// The outcome of a resilient pipeline run: how much work was done and
+/// which passes had to be skipped.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Total rewrites applied across all procedures and rounds.
+    pub applied: usize,
+    /// Rounds completed (the maximum over procedures).
+    pub rounds: usize,
+    /// Every isolated failure, in the order encountered. A pass is
+    /// quarantined after its first failure, so each (proc, pass) pair
+    /// appears at most once.
+    pub failures: Vec<PassFailure>,
+}
+
+impl PipelineReport {
+    /// Whether any pass had to be skipped.
+    pub fn degraded(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// The distinct names of passes/analyses that were skipped, in
+    /// first-failure order.
+    pub fn skipped_passes(&self) -> Vec<&str> {
+        let mut seen = HashSet::new();
+        self.failures
+            .iter()
+            .filter(|f| seen.insert(f.pass.as_str()))
+            .map(|f| f.pass.as_str())
+            .collect()
+    }
+
+    /// A one-line summary, e.g.
+    /// `4 rewrites in 2 rounds (degraded: skipped dae)`.
+    pub fn summary(&self) -> String {
+        if self.failures.is_empty() {
+            format!("{} rewrites in {} rounds", self.applied, self.rounds)
+        } else {
+            format!(
+                "{} rewrites in {} rounds (degraded: skipped {})",
+                self.applied,
+                self.rounds,
+                self.skipped_passes().join(", ")
+            )
+        }
+    }
+
+    fn absorb(&mut self, other: PipelineReport) {
+        self.applied += other.applied;
+        self.rounds = self.rounds.max(other.rounds);
+        self.failures.extend(other.failures);
+    }
+}
+
+/// Runs `f` with panic isolation, flattening panics and engine errors
+/// into a failure reason.
+fn isolate<T>(f: impl FnOnce() -> Result<T, EngineError>) -> Result<T, String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!("panicked: {}", panic_payload_message(payload.as_ref()))),
+    }
+}
+
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl Engine {
+    /// Optimizes one procedure like
+    /// [`optimize_proc`](Engine::optimize_proc), but with per-pass
+    /// fault isolation: a pass (or pure analysis) that returns an error
+    /// or panics is skipped — recorded as a [`PassFailure`] and
+    /// quarantined for the remaining rounds — while the other passes
+    /// keep running on the last good version of the procedure. Never
+    /// fails and never panics on account of a pass.
+    pub fn optimize_proc_resilient(
+        &self,
+        proc: &Proc,
+        analyses: &[PureAnalysis],
+        opts: &[Optimization],
+        max_rounds: usize,
+    ) -> (Proc, PipelineReport) {
+        let mut current = proc.clone();
+        let mut report = PipelineReport::default();
+        // Pass/analysis names quarantined after a failure.
+        let mut dead: HashSet<String> = HashSet::new();
+        let fail = |report: &mut PipelineReport,
+                        dead: &mut HashSet<String>,
+                        pass: String,
+                        round: usize,
+                        reason: String| {
+            dead.insert(pass.clone());
+            report.failures.push(PassFailure {
+                proc: proc.name.to_string(),
+                pass,
+                round,
+                reason,
+            });
+        };
+        for round in 0..max_rounds {
+            let mut round_applied = 0;
+            for opt in opts {
+                if dead.contains(&opt.name) {
+                    continue;
+                }
+                // Prepare the analyzed procedure. A failure here is a
+                // program-level problem (ill-formed CFG), not a pass
+                // failure; without it no pass can run this round.
+                let prepared = isolate(|| AnalyzedProc::new(current.clone()));
+                let mut ap = match prepared {
+                    Ok(ap) => ap,
+                    Err(reason) => {
+                        fail(
+                            &mut report,
+                            &mut dead,
+                            format!("prepare:{}", opt.name),
+                            round,
+                            reason,
+                        );
+                        continue;
+                    }
+                };
+                // Run each pure analysis in isolation: a failed
+                // analysis only costs its labels (guards see fewer
+                // facts, so fewer — still sound — rewrites fire).
+                for analysis in analyses {
+                    let key = format!("analysis:{}", analysis.name);
+                    if dead.contains(&key) {
+                        continue;
+                    }
+                    let ran = isolate(|| {
+                        fault::point_err("engine.analysis")
+                            .map_err(|e| EngineError::Guard(cobalt_dsl::GuardError::new(
+                                e.to_string(),
+                            )))?;
+                        self.run_pure_analysis(&mut ap, analysis)
+                    });
+                    if let Err(reason) = ran {
+                        fail(&mut report, &mut dead, key, round, reason);
+                    }
+                }
+                // Apply the pass itself in isolation.
+                let applied = isolate(|| {
+                    fault::point_err("engine.pass").map_err(|e| {
+                        EngineError::Guard(cobalt_dsl::GuardError::new(e.to_string()))
+                    })?;
+                    self.apply(&ap, opt)
+                });
+                match applied {
+                    Ok((next, sites)) => {
+                        round_applied += sites.len();
+                        current = next;
+                    }
+                    Err(reason) => {
+                        fail(&mut report, &mut dead, opt.name.to_string(), round, reason);
+                    }
+                }
+            }
+            report.applied += round_applied;
+            report.rounds = round + 1;
+            if round_applied == 0 {
+                break;
+            }
+        }
+        (current, report)
+    }
+
+    /// Optimizes every procedure of a program with per-pass fault
+    /// isolation; see
+    /// [`optimize_proc_resilient`](Engine::optimize_proc_resilient).
+    /// The merged [`PipelineReport`] names every skipped pass with the
+    /// procedure it failed in.
+    pub fn optimize_program_resilient(
+        &self,
+        program: &Program,
+        analyses: &[PureAnalysis],
+        opts: &[Optimization],
+        max_rounds: usize,
+    ) -> (Program, PipelineReport) {
+        let mut out = program.clone();
+        let mut report = PipelineReport::default();
+        for proc in &program.procs {
+            let (optimized, proc_report) =
+                self.optimize_proc_resilient(proc, analyses, opts, max_rounds);
+            report.absorb(proc_report);
+            out = out.with_proc_replaced(optimized);
+        }
+        (out, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobalt_dsl::{
+        BasePat, ConstPat, Direction, ExprPat, ForwardWitness, Guard, GuardSpec, LabelArgPat,
+        LabelEnv, LhsPat, RegionGuard, StmtPat, TransformPattern, VarPat, Witness,
+    };
+    use cobalt_il::parse_program;
+
+    fn const_prop() -> Optimization {
+        Optimization::new(
+            "const_prop",
+            TransformPattern {
+                direction: Direction::Forward,
+                guard: GuardSpec::Region(RegionGuard {
+                    psi1: Guard::Stmt(StmtPat::Assign(
+                        LhsPat::Var(VarPat::pat("Y")),
+                        ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+                    )),
+                    psi2: Guard::not_label("mayDef", vec![LabelArgPat::Var(VarPat::pat("Y"))]),
+                }),
+                from: StmtPat::Assign(
+                    LhsPat::Var(VarPat::pat("X")),
+                    ExprPat::Base(BasePat::Var(VarPat::pat("Y"))),
+                ),
+                to: StmtPat::Assign(
+                    LhsPat::Var(VarPat::pat("X")),
+                    ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+                ),
+                where_clause: Guard::True,
+                witness: Witness::Forward(ForwardWitness::VarEqConst(
+                    VarPat::pat("Y"),
+                    ConstPat::pat("C"),
+                )),
+            },
+        )
+    }
+
+    /// A pass whose `where` clause calls `mayDef` with the wrong arity,
+    /// so guard evaluation fails with an `EngineError` at the first
+    /// matching site.
+    fn erroring_pass() -> Optimization {
+        let mut opt = const_prop();
+        opt.pattern.where_clause = Guard::Label(
+            "mayDef".into(),
+            vec![
+                LabelArgPat::Var(VarPat::pat("X")),
+                LabelArgPat::Var(VarPat::pat("Y")),
+            ],
+        );
+        opt
+    }
+
+    /// A pass whose `choose` panics outright.
+    fn panicking_pass() -> Optimization {
+        let mut opt = const_prop().with_choose(|_, _| panic!("choose exploded"));
+        opt.name = "panicky".into();
+        opt
+    }
+
+    fn sample() -> Program {
+        parse_program("proc main(x) { a := 2; b := a; c := b; return c; }").unwrap()
+    }
+
+    #[test]
+    fn resilient_matches_strict_driver_when_nothing_fails() {
+        let engine = Engine::new(LabelEnv::standard());
+        let prog = sample();
+        let (strict, n) = engine
+            .optimize_program(&prog, &[], &[const_prop()], 5)
+            .unwrap();
+        let (resilient, report) = engine.optimize_program_resilient(&prog, &[], &[const_prop()], 5);
+        assert_eq!(
+            cobalt_il::pretty_program(&strict),
+            cobalt_il::pretty_program(&resilient)
+        );
+        assert_eq!(report.applied, n);
+        assert!(!report.degraded());
+        assert!(report.summary().contains("rewrites"));
+    }
+
+    #[test]
+    fn erroring_pass_is_skipped_and_named() {
+        let engine = Engine::new(LabelEnv::standard());
+        let prog = sample();
+        let mut bad = erroring_pass();
+        bad.name = "inventive".into();
+        let (out, report) =
+            engine.optimize_program_resilient(&prog, &[], &[bad, const_prop()], 5);
+        // The good pass still ran to fixpoint on the untouched program.
+        assert_eq!(out.main().unwrap().stmts[1].to_string(), "b := 2");
+        assert!(report.degraded());
+        assert_eq!(report.skipped_passes(), vec!["inventive"]);
+        assert_eq!(report.failures[0].round, 0);
+        assert_eq!(report.failures[0].proc, "main");
+        assert!(report.failures[0].to_string().contains("inventive"));
+    }
+
+    #[test]
+    fn panicking_pass_is_isolated_and_quarantined() {
+        let engine = Engine::new(LabelEnv::standard());
+        let prog = sample();
+        let (out, report) =
+            engine.optimize_program_resilient(&prog, &[], &[panicking_pass(), const_prop()], 5);
+        assert_eq!(out.main().unwrap().stmts[2].to_string(), "c := 2");
+        assert!(report.degraded());
+        assert_eq!(report.skipped_passes(), vec!["panicky"]);
+        // Quarantine: the panic fired once, not once per round.
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].reason.contains("panicked"));
+        assert!(report.failures[0].reason.contains("choose exploded"));
+        assert!(report.summary().contains("skipped panicky"));
+    }
+
+    #[test]
+    fn injected_pass_fault_degrades_gracefully() {
+        let engine = Engine::new(LabelEnv::standard());
+        let prog = sample();
+        let (out, report) = cobalt_support::fault::with_faults("engine.pass:fail@1", || {
+            engine.optimize_program_resilient(&prog, &[], &[const_prop()], 5)
+        });
+        // The first pass application was killed by the injected fault;
+        // const_prop is quarantined, so the program is unchanged.
+        assert!(report.degraded());
+        assert_eq!(report.skipped_passes(), vec!["const_prop"]);
+        assert!(report.failures[0].reason.contains("injected fault"));
+        assert_eq!(
+            cobalt_il::pretty_program(&out),
+            cobalt_il::pretty_program(&prog)
+        );
+    }
+
+    #[test]
+    fn injected_analysis_fault_only_costs_labels() {
+        let engine = Engine::new(LabelEnv::standard());
+        let prog = sample();
+        let analyses = [PureAnalysis {
+            name: "taint".into(),
+            guard: RegionGuard {
+                psi1: Guard::Stmt(StmtPat::Decl(VarPat::pat("X"))),
+                psi2: Guard::Stmt(StmtPat::Assign(
+                    LhsPat::Any,
+                    ExprPat::AddrOf(VarPat::pat("X")),
+                ))
+                .negate(),
+            },
+            defines: (
+                "notTainted".into(),
+                vec![LabelArgPat::Var(VarPat::pat("X"))],
+            ),
+            witness: ForwardWitness::NotPointedTo(VarPat::pat("X")),
+        }];
+        let (out, report) = cobalt_support::fault::with_faults("engine.analysis:panic@1", || {
+            engine.optimize_program_resilient(&prog, &analyses, &[const_prop()], 5)
+        });
+        // The analysis is skipped, the optimization still runs.
+        assert!(report.degraded());
+        assert_eq!(report.skipped_passes(), vec!["analysis:taint"]);
+        assert_eq!(out.main().unwrap().stmts[1].to_string(), "b := 2");
+    }
+}

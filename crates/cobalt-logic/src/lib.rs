@@ -56,5 +56,7 @@ pub mod term;
 
 pub use cc::Cc;
 pub use formula::Formula;
-pub use solver::{Limits, Outcome, ProofTask, Solver, Stats, SELECT, UPDATE};
+pub use solver::{
+    clamp_context, Budget, Limits, Outcome, ProofTask, Solver, Stats, UnknownKind, SELECT, UPDATE,
+};
 pub use term::{Sym, TermBank, TermData, TermId};

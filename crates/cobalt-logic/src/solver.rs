@@ -22,7 +22,10 @@
 use crate::cc::Cc;
 use crate::formula::Formula;
 use crate::term::{Sym, TermBank, TermData, TermId};
+use cobalt_support::fault;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The function symbol used for array reads.
@@ -39,6 +42,10 @@ pub struct Limits {
     pub max_inst_rounds: usize,
     /// Hard cap on interned terms (guards runaway instantiation).
     pub max_terms: usize,
+    /// Wall-clock deadline for one `prove` call. `None` means no
+    /// deadline; exceeding it yields a resource-limit
+    /// [`Outcome::Unknown`], never an error or a hang.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for Limits {
@@ -47,7 +54,97 @@ impl Default for Limits {
             max_splits: 20_000,
             max_inst_rounds: 4,
             max_terms: 200_000,
+            deadline: None,
         }
+    }
+}
+
+/// A cooperative resource budget for proof search, complementing the
+/// structural caps in [`Limits`]: a wall-clock deadline, an optional
+/// step cap (each search-loop iteration, asserted formula, split, and
+/// generated instance counts as one step), and a cancel flag an outside
+/// thread may set to abandon the search at the next check.
+///
+/// Exhausting any of these produces a resource-limit
+/// [`Outcome::Unknown`] — bounded effort is a report, never a crash.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// Wall-clock deadline for one `prove` call. When [`Limits`] also
+    /// carries a deadline, the smaller of the two wins.
+    pub deadline: Option<Duration>,
+    /// Maximum number of search steps.
+    pub max_steps: Option<u64>,
+    /// Cooperative cancellation: set to `true` from any thread to make
+    /// the search give up at its next budget check.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// A budget with only a wall-clock deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Budget {
+            deadline: Some(deadline),
+            ..Budget::default()
+        }
+    }
+}
+
+/// How often (in steps) the meter consults the clock and cancel flag;
+/// structural caps are checked on every step.
+const METER_CHECK_INTERVAL: u64 = 16;
+
+/// Runtime state of a [`Budget`] during one `prove` call.
+struct Meter {
+    start: Instant,
+    deadline: Option<Instant>,
+    max_steps: Option<u64>,
+    steps: u64,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Meter {
+    fn new(start: Instant, limits: &Limits, budget: &Budget) -> Self {
+        let duration = match (limits.deadline, budget.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Meter {
+            start,
+            deadline: duration.and_then(|d| start.checked_add(d)),
+            max_steps: budget.max_steps,
+            steps: 0,
+            cancel: budget.cancel.clone(),
+        }
+    }
+
+    /// Advances the meter by one step; returns the give-up reason once
+    /// the budget is exhausted.
+    fn tick(&mut self) -> Option<String> {
+        self.steps += 1;
+        if let Some(cap) = self.max_steps {
+            if self.steps > cap {
+                return Some(format!("step cap of {cap} exceeded"));
+            }
+        }
+        if self.steps == 1 || self.steps % METER_CHECK_INTERVAL == 0 {
+            if let Some(flag) = &self.cancel {
+                if flag.load(Ordering::Relaxed) {
+                    return Some(format!(
+                        "cancelled by caller after {:.1?}",
+                        self.start.elapsed()
+                    ));
+                }
+            }
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Some(format!(
+                        "deadline exceeded after {:.1?}",
+                        self.start.elapsed()
+                    ));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -60,6 +157,19 @@ pub struct Stats {
     pub instances: usize,
     /// Number of tableau branches closed.
     pub branches: usize,
+}
+
+/// Why a proof attempt came back [`Outcome::Unknown`]. The distinction
+/// drives retry policy: a resource limit is worth retrying with a
+/// bigger budget, an open branch is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownKind {
+    /// The search saturated with an open branch — evidence (not proof)
+    /// that the goal does not follow from the hypotheses.
+    OpenBranch,
+    /// The search gave up on a resource limit: case splits, interned
+    /// terms, instantiation rounds, steps, deadline, or cancellation.
+    ResourceLimit,
 }
 
 /// The outcome of a proof attempt.
@@ -77,8 +187,12 @@ pub enum Outcome {
     Unknown {
         /// Why the search gave up.
         reason: String,
+        /// Whether the failure was a resource limit or a saturated open
+        /// branch.
+        kind: UnknownKind,
         /// The literals of the first open branch — the paper's
         /// "counterexample context" (§7), used for error reporting.
+        /// Clamped to [`MAX_CONTEXT_LITERALS`] entries.
         open_branch: Vec<String>,
         /// Search statistics up to the point of giving up.
         stats: Stats,
@@ -93,6 +207,20 @@ impl Outcome {
         matches!(self, Outcome::Proved { .. })
     }
 
+    /// Whether the attempt gave up on a resource limit (splits, terms,
+    /// rounds, steps, deadline, or cancellation) rather than saturating
+    /// with an open branch. Resource-limited attempts are candidates
+    /// for retrying with a larger budget.
+    pub fn is_resource_limited(&self) -> bool {
+        matches!(
+            self,
+            Outcome::Unknown {
+                kind: UnknownKind::ResourceLimit,
+                ..
+            }
+        )
+    }
+
     /// Time spent on the attempt.
     pub fn elapsed(&self) -> Duration {
         match self {
@@ -105,6 +233,36 @@ impl Outcome {
         match self {
             Outcome::Proved { stats, .. } | Outcome::Unknown { stats, .. } => stats,
         }
+    }
+}
+
+/// Most literals kept in a counterexample context; the rest collapse
+/// into a `… (+N more)` marker.
+pub const MAX_CONTEXT_LITERALS: usize = 12;
+
+/// Longest rendered literal kept in a counterexample context; longer
+/// ones are cut at a char boundary with a `…` suffix.
+pub const MAX_CONTEXT_LITERAL_CHARS: usize = 200;
+
+/// Clamps a counterexample context in place: at most `max_lits`
+/// literals, each at most `max_chars` characters, with a trailing
+/// `… (+N more)` marker when literals were dropped. Large proof
+/// obligations otherwise produce unbounded multi-KB failure strings.
+pub fn clamp_context(lits: &mut Vec<String>, max_lits: usize, max_chars: usize) {
+    for lit in lits.iter_mut() {
+        if lit.chars().count() > max_chars {
+            let cut = lit
+                .char_indices()
+                .nth(max_chars.saturating_sub(1))
+                .map_or(lit.len(), |(i, _)| i);
+            lit.truncate(cut);
+            lit.push('…');
+        }
+    }
+    if lits.len() > max_lits {
+        let dropped = lits.len() - max_lits;
+        lits.truncate(max_lits);
+        lits.push(format!("… (+{dropped} more)"));
     }
 }
 
@@ -138,6 +296,7 @@ pub struct Solver {
     /// terms directly in it.
     pub bank: TermBank,
     limits: Limits,
+    budget: Budget,
     skolem_counter: u64,
 }
 
@@ -161,6 +320,21 @@ impl Solver {
         self.limits = limits;
     }
 
+    /// Replaces the cooperative budget (deadline, step cap, cancel
+    /// flag) applied to every subsequent `prove` call.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// Installs and returns a cancel flag: set it to `true` from any
+    /// thread and the running `prove` gives up at its next budget
+    /// check, reporting a resource-limit [`Outcome::Unknown`].
+    pub fn cancel_flag(&mut self) -> Arc<AtomicBool> {
+        let flag = Arc::new(AtomicBool::new(false));
+        self.budget.cancel = Some(flag.clone());
+        flag
+    }
+
     /// The distinguished "true" constant used to encode predicates.
     pub fn tt(&mut self) -> TermId {
         let s = self.bank.constructor("$true");
@@ -180,8 +354,30 @@ impl Solver {
     }
 
     /// Attempts to prove the task, refuting `hypotheses ∧ ¬goal`.
+    ///
+    /// Effort is bounded by the solver's [`Limits`] and [`Budget`]:
+    /// when any cap, deadline, or cancellation is hit the search stops
+    /// and reports a resource-limit [`Outcome::Unknown`] — it never
+    /// runs unbounded.
     pub fn prove(&mut self, task: &ProofTask) -> Outcome {
         let start = Instant::now();
+        fault::point("solver.prove");
+        // Degenerate limits short-circuit before any work: a term cap
+        // at or below the already-interned bank can make no progress
+        // (previously this was only noticed once instantiation began).
+        if self.bank.len() >= self.limits.max_terms {
+            return Outcome::Unknown {
+                reason: format!(
+                    "term limit of {} exceeded before search began ({} terms interned)",
+                    self.limits.max_terms,
+                    self.bank.len()
+                ),
+                kind: UnknownKind::ResourceLimit,
+                open_branch: Vec::new(),
+                stats: Stats::default(),
+                elapsed: start.elapsed(),
+            };
+        }
         let mut formulas: Vec<Formula> = Vec::with_capacity(task.hypotheses.len() + 1);
         for h in &task.hypotheses {
             formulas.push(h.clone().nnf());
@@ -202,24 +398,34 @@ impl Solver {
             inst_rounds: 0,
             relevant,
         };
+        let meter = Meter::new(start, &self.limits, &self.budget);
         let mut search = Search {
             solver: self,
             stats: Stats::default(),
             limit_hit: None,
+            meter,
         };
         let closed = search.close(branch);
         let stats = search.stats.clone();
         let elapsed = start.elapsed();
         match closed {
             BranchResult::Closed => Outcome::Proved { stats, elapsed },
-            BranchResult::Open(lits) => Outcome::Unknown {
-                reason: search
-                    .limit_hit
-                    .unwrap_or_else(|| "open branch: goal not provable from hypotheses".into()),
-                open_branch: lits,
-                stats,
-                elapsed,
-            },
+            BranchResult::Open(lits) => {
+                let (reason, kind) = match search.limit_hit {
+                    Some(reason) => (reason, UnknownKind::ResourceLimit),
+                    None => (
+                        "open branch: goal not provable from hypotheses".into(),
+                        UnknownKind::OpenBranch,
+                    ),
+                };
+                Outcome::Unknown {
+                    reason,
+                    kind,
+                    open_branch: lits,
+                    stats,
+                    elapsed,
+                }
+            }
         }
     }
 
@@ -292,18 +498,35 @@ struct Search<'a> {
     solver: &'a mut Solver,
     stats: Stats,
     limit_hit: Option<String>,
+    meter: Meter,
 }
 
 impl Search<'_> {
+    /// Advances the budget meter; returns true (and records the limit)
+    /// when the budget is exhausted.
+    fn out_of_budget(&mut self) -> bool {
+        if self.limit_hit.is_some() {
+            return true;
+        }
+        if let Some(reason) = self.meter.tick() {
+            self.limit_hit = Some(reason);
+            return true;
+        }
+        false
+    }
+
     /// Attempts to close a branch; returns `Closed` if a contradiction
     /// was derived on every sub-branch.
     fn close(&mut self, mut branch: Branch) -> BranchResult {
         loop {
-            if self.limit_hit.is_some() {
+            if self.out_of_budget() {
                 return BranchResult::Open(vec![]);
             }
             // 1. Assert pending formulas into the congruence core.
             while let Some(f) = branch.todo.pop() {
+                if self.out_of_budget() {
+                    return BranchResult::Open(vec![]);
+                }
                 if self.assert_formula(&mut branch, f) {
                     // conflict
                     self.stats.branches += 1;
@@ -368,6 +591,18 @@ impl Search<'_> {
                     branch.todo.extend(instances);
                     continue;
                 }
+            } else if !branch.foralls.is_empty() && self.limit_hit.is_none() {
+                // The round cap stopped us from even attempting another
+                // instantiation round while universals remained; more
+                // rounds might have closed the branch, so report a
+                // resource limit rather than a definitive open branch.
+                // (A branch that *saturated* — a round produced no new
+                // instances — ends with inst_rounds below the cap and
+                // is reported as genuinely open.)
+                self.limit_hit = Some(format!(
+                    "instantiation-round limit of {} reached with universals unsaturated",
+                    self.solver.limits.max_inst_rounds
+                ));
             }
             // Nothing more to do: the branch stays open.
             return BranchResult::Open(self.describe_branch(&mut branch));
@@ -376,6 +611,10 @@ impl Search<'_> {
 
     /// Splits the branch on the given alternatives; closed iff all close.
     fn split(&mut self, branch: Branch, alternatives: Vec<Formula>) -> BranchResult {
+        fault::point("solver.split");
+        if self.out_of_budget() {
+            return BranchResult::Open(vec![]);
+        }
         self.stats.splits += 1;
         if std::env::var_os("COBALT_LOGIC_DEBUG").is_some() && self.stats.splits <= 64 {
             let parts: Vec<String> = alternatives
@@ -637,6 +876,9 @@ impl Search<'_> {
                     self.limit_hit = Some("term limit exceeded during instantiation".into());
                     return out;
                 }
+                if self.out_of_budget() {
+                    return out;
+                }
                 let inst = body.subst(&mut self.solver.bank, &binding);
                 out.push(inst);
             }
@@ -751,7 +993,16 @@ impl Search<'_> {
             .collect();
         class_lines.sort();
         out.extend(class_lines.into_iter().take(6));
+        // Render only as many groups as could survive the clamp below;
+        // large VCs would otherwise build multi-KB strings just to
+        // throw them away.
+        let room = MAX_CONTEXT_LITERALS + 1;
+        let mut dropped = 0usize;
         for group in &branch.splits {
+            if out.len() >= room {
+                dropped += 1;
+                continue;
+            }
             let parts: Vec<String> = group
                 .iter()
                 .map(|g| g.display(&self.solver.bank))
@@ -759,9 +1010,14 @@ impl Search<'_> {
             out.push(format!("undecided: (or {})", parts.join(" ")));
         }
         for f in &branch.foralls {
+            if out.len() >= room {
+                dropped += 1;
+                continue;
+            }
             out.push(format!("unsaturated: {}", f.display(&self.solver.bank)));
         }
-        out.truncate(16);
+        out.extend(std::iter::repeat_with(String::new).take(dropped));
+        clamp_context(&mut out, MAX_CONTEXT_LITERALS, MAX_CONTEXT_LITERAL_CHARS);
         out
     }
 }
@@ -1033,6 +1289,240 @@ mod tests {
             goal: impossible,
         });
         assert!(!out.is_proved());
+    }
+
+    /// A task needing many case splits: n binary disjunctions over
+    /// fresh atoms with an impossible goal.
+    fn split_heavy_task(s: &mut Solver, n: usize) -> ProofTask {
+        let atoms: Vec<TermId> = (0..2 * n).map(|i| s.bank.app0(&format!("a{i}"))).collect();
+        let target = s.bank.app0("t");
+        let hyps: Vec<Formula> = atoms
+            .chunks(2)
+            .map(|c| Formula::or([Formula::Eq(c[0], target), Formula::Eq(c[1], target)]))
+            .collect();
+        ProofTask {
+            hypotheses: hyps,
+            goal: Formula::Eq(atoms[0], atoms[1]),
+        }
+    }
+
+    #[test]
+    fn deadline_zero_reports_resource_limit() {
+        let mut s = Solver::with_limits(Limits {
+            deadline: Some(Duration::ZERO),
+            ..Limits::default()
+        });
+        let task = split_heavy_task(&mut s, 8);
+        let out = s.prove(&task);
+        assert!(out.is_resource_limited(), "{out:?}");
+        if let Outcome::Unknown { reason, .. } = &out {
+            assert!(reason.contains("deadline exceeded"), "{reason}");
+        }
+    }
+
+    #[test]
+    fn budget_deadline_merges_with_limits_deadline() {
+        let mut s = Solver::with_limits(Limits {
+            deadline: Some(Duration::from_secs(3600)),
+            ..Limits::default()
+        });
+        s.set_budget(Budget::with_deadline(Duration::ZERO));
+        let task = split_heavy_task(&mut s, 8);
+        assert!(s.prove(&task).is_resource_limited());
+    }
+
+    #[test]
+    fn step_cap_reports_resource_limit() {
+        let mut s = Solver::new();
+        s.set_budget(Budget {
+            max_steps: Some(3),
+            ..Budget::default()
+        });
+        let task = split_heavy_task(&mut s, 8);
+        let out = s.prove(&task);
+        assert!(out.is_resource_limited(), "{out:?}");
+        if let Outcome::Unknown { reason, .. } = &out {
+            assert!(reason.contains("step cap"), "{reason}");
+        }
+    }
+
+    #[test]
+    fn cancel_flag_aborts_search() {
+        let mut s = Solver::new();
+        let flag = s.cancel_flag();
+        flag.store(true, Ordering::Relaxed);
+        let task = split_heavy_task(&mut s, 8);
+        let out = s.prove(&task);
+        assert!(out.is_resource_limited(), "{out:?}");
+        if let Outcome::Unknown { reason, .. } = &out {
+            assert!(reason.contains("cancelled"), "{reason}");
+        }
+    }
+
+    #[test]
+    fn budget_does_not_disturb_successful_proofs() {
+        let mut s = Solver::new();
+        s.set_budget(Budget::with_deadline(Duration::from_secs(60)));
+        let f = s.bank.sym("f");
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        let fx = s.bank.app(f, vec![x]);
+        let fy = s.bank.app(f, vec![y]);
+        assert!(prove(&mut s, vec![Formula::Eq(x, y)], Formula::Eq(fx, fy)));
+    }
+
+    #[test]
+    fn degenerate_zero_limits_fail_fast_without_panic() {
+        // Regression: max_terms 0 used to be noticed only once
+        // instantiation began; it must short-circuit before search.
+        let mut s = Solver::with_limits(Limits {
+            max_splits: 0,
+            max_terms: 0,
+            max_inst_rounds: 0,
+            deadline: None,
+        });
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        let start = Instant::now();
+        let out = s.prove(&ProofTask {
+            hypotheses: vec![Formula::Eq(x, y)],
+            goal: Formula::Eq(y, x),
+        });
+        assert!(out.is_resource_limited(), "{out:?}");
+        if let Outcome::Unknown { reason, .. } = &out {
+            assert!(reason.contains("term limit"), "{reason}");
+        }
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn split_limit_is_flagged_as_resource_limit() {
+        let mut s = Solver::with_limits(Limits {
+            max_splits: 1,
+            ..Limits::default()
+        });
+        let task = split_heavy_task(&mut s, 3);
+        let out = s.prove(&task);
+        assert!(!out.is_proved());
+        assert!(out.is_resource_limited(), "{out:?}");
+    }
+
+    #[test]
+    fn saturated_open_branch_is_not_resource_limited() {
+        let mut s = Solver::new();
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        let out = s.prove(&ProofTask {
+            hypotheses: vec![],
+            goal: Formula::Eq(x, y),
+        });
+        assert!(!out.is_proved());
+        assert!(!out.is_resource_limited(), "{out:?}");
+    }
+
+    #[test]
+    fn inst_round_cap_with_unsaturated_foralls_is_a_limit() {
+        let mut s = Solver::with_limits(Limits {
+            max_inst_rounds: 0,
+            ..Limits::default()
+        });
+        let p = s.bank.sym("p");
+        let a = s.bank.app0("a");
+        let vsym = s.bank.sym("V");
+        let v = s.bank.var("V");
+        let pv = s.bank.app(p, vec![v]);
+        let hyp = Formula::Forall {
+            vars: vec![vsym],
+            triggers: vec![],
+            body: Box::new(Formula::Holds(pv)),
+        };
+        let pa = s.bank.app(p, vec![a]);
+        let out = s.prove(&ProofTask {
+            hypotheses: vec![hyp],
+            goal: Formula::Holds(pa),
+        });
+        assert!(!out.is_proved());
+        assert!(out.is_resource_limited(), "{out:?}");
+    }
+
+    #[test]
+    fn open_branch_context_is_clamped() {
+        let mut s = Solver::new();
+        // 30 unsaturated universals (two vars, no triggers: never
+        // instantiated) → far more context lines than the clamp
+        // allows; one of them mentions an enormous ground term so a
+        // single rendered literal would exceed the length clamp too.
+        let p = s.bank.sym("p");
+        let f = s.bank.sym("f");
+        let mut deep = s.bank.app0("leaf_with_a_rather_long_name");
+        for _ in 0..80 {
+            deep = s.bank.app(f, vec![deep]);
+        }
+        let mut hyps = Vec::new();
+        for i in 0..30 {
+            let vsym = s.bank.sym(&format!("V{i}"));
+            let wsym = s.bank.sym(&format!("W{i}"));
+            let v = s.bank.var(&format!("V{i}"));
+            let w = s.bank.var(&format!("W{i}"));
+            let body = s.bank.app(p, vec![v, w, deep]);
+            hyps.push(Formula::Forall {
+                vars: vec![vsym, wsym],
+                triggers: vec![],
+                body: Box::new(Formula::Holds(body)),
+            });
+        }
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        let out = s.prove(&ProofTask {
+            hypotheses: hyps,
+            goal: Formula::Eq(x, y),
+        });
+        let Outcome::Unknown { open_branch, .. } = out else {
+            panic!("expected Unknown");
+        };
+        assert!(
+            open_branch.len() <= MAX_CONTEXT_LITERALS + 1,
+            "{} lines",
+            open_branch.len()
+        );
+        assert!(
+            open_branch.last().unwrap().contains("more)"),
+            "expected a (+N more) marker, got {:?}",
+            open_branch.last()
+        );
+        for lit in &open_branch {
+            assert!(
+                lit.chars().count() <= MAX_CONTEXT_LITERAL_CHARS,
+                "literal too long: {} chars",
+                lit.chars().count()
+            );
+        }
+    }
+
+    #[test]
+    fn clamp_context_helper_behaviour() {
+        let mut lits: Vec<String> = (0..20).map(|i| format!("lit{i}")).collect();
+        clamp_context(&mut lits, 5, 100);
+        assert_eq!(lits.len(), 6);
+        assert_eq!(lits[5], "… (+15 more)");
+        let mut long = vec!["x".repeat(500)];
+        clamp_context(&mut long, 5, 10);
+        assert!(long[0].chars().count() <= 10);
+        assert!(long[0].ends_with('…'));
+        let mut small = vec!["a".to_string()];
+        clamp_context(&mut small, 5, 10);
+        assert_eq!(small, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn fault_point_in_prove_is_isolated_by_caller() {
+        cobalt_support::fault::with_faults("solver.prove:panic@1", || {
+            let result = std::panic::catch_unwind(|| {
+                let mut s = Solver::new();
+                let x = s.bank.app0("x");
+                s.prove(&ProofTask {
+                    hypotheses: vec![],
+                    goal: Formula::Eq(x, x),
+                })
+            });
+            assert!(result.is_err(), "injected panic must fire");
+        });
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   best-effort shrinking) standing in for `proptest`, driven by the
 //!   [`props!`](crate::props) macro;
 //! * [`bench`] — a minimal benchmark harness (warmup, timed samples,
-//!   median/p95, JSON-lines output) standing in for `criterion`.
+//!   median/p95, JSON-lines output) standing in for `criterion`;
+//! * [`fault`] — deterministic, env-driven fault injection points
+//!   (`COBALT_FAULTS=site:panic@n,…`) used to exercise the workspace's
+//!   graceful-degradation paths; off by default with near-zero cost.
 //!
 //! The workspace's hermetic-build policy (see `DESIGN.md`) forbids
 //! external registry dependencies so that `cargo build --release
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 

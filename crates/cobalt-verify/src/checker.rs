@@ -1,13 +1,23 @@
 //! The correctness checker: builds the obligations of an optimization or
 //! pure analysis and discharges them with the automatic theorem prover
 //! (paper §5.1).
+//!
+//! Proving is **resource-governed**: each obligation is attempted under
+//! an escalating sequence of prover limits (a [`RetryPolicy`]), the
+//! whole report may carry a wall-clock deadline, and a prover panic is
+//! isolated to the one obligation it occurred in. The paper's pitch is
+//! that soundness checking is *automatic* — Simplify runs under the
+//! hood with bounded effort and a failed or timed-out proof is a
+//! report, never a crash.
 
 use crate::enc::SemanticMeanings;
 use crate::error::VerifyError;
 use crate::oblig::{obligations_for_analysis, obligations_for_optimization, Prepared};
 use cobalt_dsl::{LabelEnv, Optimization, PureAnalysis};
-use cobalt_logic::{Limits, Outcome};
-use std::time::Duration;
+use cobalt_logic::{clamp_context, Limits, Outcome};
+use cobalt_support::fault;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// The result of attempting one proof obligation.
 #[derive(Debug, Clone)]
@@ -16,11 +26,85 @@ pub struct ObligationOutcome {
     pub id: String,
     /// Whether the prover discharged it.
     pub proved: bool,
-    /// Time the prover spent.
+    /// Total time spent on the obligation, across every attempt.
     pub elapsed: Duration,
     /// For failures: the reason and the open-branch counterexample
-    /// context (paper §7); empty on success.
+    /// context (paper §7), or `panicked: …` when the prover died;
+    /// empty on success. Clamped to a bounded size.
     pub detail: String,
+    /// Number of prover attempts made. Zero only when the report
+    /// deadline expired before this obligation was reached.
+    pub attempts: u32,
+    /// Number of limit escalations (`attempts - 1` for attempted
+    /// obligations): how many times a resource-limit `Unknown` bought a
+    /// retry at the next tier.
+    pub escalations: u32,
+    /// For failures: whether the final attempt gave up on a resource
+    /// limit (deadline, splits, terms, rounds) rather than finding a
+    /// genuine open branch or panicking. Resource-limited failures say
+    /// nothing about soundness; open-branch failures are evidence of a
+    /// real problem.
+    pub resource_limited: bool,
+}
+
+/// Escalating prover-limit tiers plus an overall per-report deadline —
+/// the checker's iterative-deepening retry schedule.
+///
+/// Each obligation starts at `tiers[0]`. An attempt that comes back as
+/// a *resource-limit* [`Outcome::Unknown`] escalates to the next tier;
+/// a proof, an open branch, or a panic is final. This keeps the common
+/// case fast (most obligations prove instantly under small limits)
+/// while still giving hard obligations the full budget.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// The limit tiers, attempted in order.
+    pub tiers: Vec<Limits>,
+    /// Wall-clock budget for one whole report. When it expires,
+    /// remaining obligations are recorded as resource-limited failures
+    /// without being attempted, and in-flight attempts run under a
+    /// correspondingly clipped prover deadline.
+    pub report_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            tiers: vec![
+                Limits {
+                    max_splits: 500,
+                    max_inst_rounds: 2,
+                    max_terms: 50_000,
+                    deadline: Some(Duration::from_millis(250)),
+                },
+                Limits {
+                    max_splits: 4_000,
+                    max_inst_rounds: 3,
+                    max_terms: 100_000,
+                    deadline: Some(Duration::from_secs(2)),
+                },
+                Limits::default(),
+            ],
+            report_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with exactly one tier and no report deadline — the
+    /// pre-retry behaviour of running every obligation once under
+    /// fixed limits.
+    pub fn single(limits: Limits) -> Self {
+        RetryPolicy {
+            tiers: vec![limits],
+            report_deadline: None,
+        }
+    }
+
+    /// Sets the overall per-report wall-clock budget.
+    pub fn with_report_deadline(mut self, deadline: Duration) -> Self {
+        self.report_deadline = Some(deadline);
+        self
+    }
 }
 
 /// The verification report for one optimization or analysis.
@@ -50,14 +134,53 @@ impl Report {
             .collect()
     }
 
-    /// A one-line summary, e.g. `const_prop: 34/34 proved in 120ms`.
+    /// Whether every failure (if any) was a resource limit rather than
+    /// an open branch or panic — i.e. nothing in this report is
+    /// evidence of unsoundness, only of insufficient budget.
+    pub fn only_resource_limited_failures(&self) -> bool {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.proved)
+            .all(|o| o.resource_limited)
+    }
+
+    /// Total prover attempts across all obligations.
+    pub fn total_attempts(&self) -> u32 {
+        self.outcomes.iter().map(|o| o.attempts).sum()
+    }
+
+    /// A one-line summary. Fully proved reports read
+    /// `const_prop: 34/34 obligations proved in 120ms`; failing ones
+    /// name the failed obligations, e.g.
+    /// `dae: 30/32 obligations proved (failed: B2/store_deref, B3/return) in 1.2s`.
     pub fn summary(&self) -> String {
         let proved = self.outcomes.iter().filter(|o| o.proved).count();
+        let total = self.outcomes.len();
+        if proved == total {
+            return format!(
+                "{}: {}/{} obligations proved in {:.1?}",
+                self.name, proved, total, self.elapsed
+            );
+        }
+        const MAX_NAMED: usize = 6;
+        let failed = self.failures();
+        let extra = failed.len().saturating_sub(MAX_NAMED);
+        let mut named: Vec<&str> = failed.into_iter().take(MAX_NAMED).collect();
+        let suffix = if extra > 0 {
+            format!(" (+{extra} more)")
+        } else {
+            String::new()
+        };
         format!(
-            "{}: {}/{} obligations proved in {:.1?}",
+            "{}: {}/{} obligations proved (failed: {}{}) in {:.1?}",
             self.name,
             proved,
-            self.outcomes.len(),
+            total,
+            {
+                named.sort();
+                named.join(", ")
+            },
+            suffix,
             self.elapsed
         )
     }
@@ -78,23 +201,29 @@ impl Report {
 pub struct Verifier {
     env: LabelEnv,
     meanings: SemanticMeanings,
-    limits: Limits,
+    policy: RetryPolicy,
 }
 
 impl Verifier {
     /// Creates a checker with the given label environment and semantic
-    /// label meanings.
+    /// label meanings, using the default [`RetryPolicy`].
     pub fn new(env: LabelEnv, meanings: SemanticMeanings) -> Self {
         Verifier {
             env,
             meanings,
-            limits: Limits::default(),
+            policy: RetryPolicy::default(),
         }
     }
 
-    /// Overrides the prover's resource limits.
-    pub fn with_limits(mut self, limits: Limits) -> Self {
-        self.limits = limits;
+    /// Overrides the prover's resource limits with a single fixed tier
+    /// (no retries, no report deadline).
+    pub fn with_limits(self, limits: Limits) -> Self {
+        self.with_retry_policy(RetryPolicy::single(limits))
+    }
+
+    /// Overrides the full retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -158,33 +287,111 @@ impl Verifier {
     }
 
     fn run(&self, name: String, prepared: Vec<Prepared>) -> Report {
-        let start = std::time::Instant::now();
+        let start = Instant::now();
+        let report_deadline = self
+            .policy
+            .report_deadline
+            .and_then(|d| start.checked_add(d));
         let mut outcomes = Vec::new();
-        for mut p in prepared {
-            p.solver.set_limits(self.limits.clone());
-            let outcome = p.solver.prove(&p.task);
-            let (proved, detail) = match &outcome {
-                Outcome::Proved { .. } => (true, String::new()),
-                Outcome::Unknown {
-                    reason,
-                    open_branch,
-                    ..
-                } => (
-                    false,
-                    format!("{reason}; context: {}", open_branch.join("; ")),
-                ),
-            };
-            outcomes.push(ObligationOutcome {
-                id: p.id,
-                proved,
-                elapsed: outcome.elapsed(),
-                detail,
-            });
+        for p in prepared {
+            outcomes.push(self.discharge(p, report_deadline));
         }
         Report {
             name,
             outcomes,
             elapsed: start.elapsed(),
         }
+    }
+
+    /// Runs one obligation through the retry schedule, isolating prover
+    /// panics.
+    fn discharge(&self, mut p: Prepared, report_deadline: Option<Instant>) -> ObligationOutcome {
+        let obligation_start = Instant::now();
+        let mut attempts = 0u32;
+        let mut done = |proved, detail, resource_limited, attempts: u32| ObligationOutcome {
+            id: std::mem::take(&mut p.id),
+            proved,
+            elapsed: obligation_start.elapsed(),
+            detail,
+            attempts,
+            escalations: attempts.saturating_sub(1),
+            resource_limited,
+        };
+        let n_tiers = self.policy.tiers.len().max(1);
+        let fallback = [Limits::default()];
+        let tiers: &[Limits] = if self.policy.tiers.is_empty() {
+            &fallback
+        } else {
+            &self.policy.tiers
+        };
+        for (ti, tier) in tiers.iter().enumerate() {
+            // Clip this attempt's prover deadline to what remains of
+            // the report budget; if nothing remains, stop attempting.
+            let mut limits = tier.clone();
+            if let Some(deadline) = report_deadline {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    let detail = if attempts == 0 {
+                        "report deadline exceeded before first attempt".to_string()
+                    } else {
+                        "report deadline exceeded during escalation".to_string()
+                    };
+                    return done(false, detail, true, attempts);
+                }
+                limits.deadline = Some(match limits.deadline {
+                    Some(d) => d.min(remaining),
+                    None => remaining,
+                });
+            }
+            attempts += 1;
+            p.solver.set_limits(limits);
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                fault::point("checker.obligation");
+                p.solver.prove(&p.task)
+            }));
+            match attempt {
+                Err(payload) => {
+                    // A prover panic is a failed obligation, not a
+                    // failed suite (and not worth retrying: the same
+                    // inputs would panic again).
+                    let detail = format!("panicked: {}", panic_message(payload.as_ref()));
+                    return done(false, detail, false, attempts);
+                }
+                Ok(outcome) => match outcome {
+                    Outcome::Proved { .. } => return done(true, String::new(), false, attempts),
+                    unknown if unknown.is_resource_limited() && ti + 1 < n_tiers => {
+                        // Escalate to the next tier.
+                    }
+                    Outcome::Unknown {
+                        reason,
+                        open_branch,
+                        kind,
+                        ..
+                    } => {
+                        let limited = kind == cobalt_logic::UnknownKind::ResourceLimit;
+                        let mut context = open_branch;
+                        clamp_context(&mut context, 12, 200);
+                        let detail = if context.is_empty() {
+                            reason
+                        } else {
+                            format!("{reason}; context: {}", context.join("; "))
+                        };
+                        return done(false, detail, limited, attempts);
+                    }
+                },
+            }
+        }
+        unreachable!("the last tier always returns")
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }

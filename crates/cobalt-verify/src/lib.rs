@@ -73,7 +73,7 @@ pub mod infer;
 pub mod oblig;
 pub mod vocab;
 
-pub use checker::{ObligationOutcome, Report, Verifier};
+pub use checker::{ObligationOutcome, Report, RetryPolicy, Verifier};
 pub use enc::{Enc, SemanticMeanings, Shape, SymState, TaintMode};
 pub use error::VerifyError;
 pub use infer::{infer_witness, with_inferred_witness};

@@ -17,37 +17,44 @@ use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
-    let mut rows: Vec<(String, usize, usize, f64)> = Vec::new();
-    let mut push = |name: &str, report: &Report| {
+    let mut rows: Vec<(String, usize, usize, u32, f64)> = Vec::new();
+    let mut push = |report: &Report| {
+        // The one-line summary names any failing obligation ids.
+        println!("  {}", report.summary());
         let proved = report.outcomes.iter().filter(|o| o.proved).count();
         rows.push((
-            name.to_string(),
+            report.name.clone(),
             proved,
             report.outcomes.len(),
+            report.total_attempts(),
             report.elapsed.as_secs_f64() * 1e3,
         ));
     };
 
     for analysis in cobalt::opts::all_analyses() {
         let report = verifier.verify_analysis(&analysis)?;
-        assert!(report.all_proved(), "{:?}", report.failures());
-        push(&analysis.name, &report);
+        assert!(report.all_proved(), "{}", report.summary());
+        push(&report);
     }
     for opt in cobalt::opts::all_optimizations() {
         let report = verifier.verify_optimization(&opt)?;
-        assert!(report.all_proved(), "{:?}", report.failures());
-        push(&opt.name, &report);
+        assert!(report.all_proved(), "{}", report.summary());
+        push(&report);
     }
 
+    println!();
     println!("Table 1: automatic soundness proofs of the optimization suite");
-    println!("{:<22} {:>12} {:>12}", "optimization", "obligations", "time (ms)");
-    println!("{}", "-".repeat(48));
-    for (name, proved, total, ms) in &rows {
+    println!(
+        "{:<22} {:>12} {:>10} {:>12}",
+        "optimization", "obligations", "attempts", "time (ms)"
+    );
+    println!("{}", "-".repeat(60));
+    for (name, proved, total, attempts, ms) in &rows {
         assert_eq!(proved, total);
-        println!("{name:<22} {total:>12} {ms:>12.2}");
+        println!("{name:<22} {total:>12} {attempts:>10} {ms:>12.2}");
     }
-    println!("{}", "-".repeat(48));
-    let times: Vec<f64> = rows.iter().map(|r| r.3).collect();
+    println!("{}", "-".repeat(60));
+    let times: Vec<f64> = rows.iter().map(|r| r.4).collect();
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = times.iter().cloned().fold(0.0f64, f64::max);
     let avg = times.iter().sum::<f64>() / times.len() as f64;

@@ -16,6 +16,45 @@ cargo build --release --offline
 echo "== cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "== robustness stage (bounded)"
+COBALT="target/release/cobalt"
+
+# Degenerate/bounded limits: a severely capped run must finish quickly
+# and exit 0 (all proved anyway) or 3 (resource-limited) — never hang,
+# crash, or claim unsoundness (2).
+set +e
+"$COBALT" verify --timeout 5 --max-splits 10 >/dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 0 && $code -ne 3 ]]; then
+    echo "robustness: capped verify exited $code (want 0 or 3)"; exit 1
+fi
+
+# Deadline exit code: --timeout 0 must exit 3 (resource-limited).
+set +e
+"$COBALT" verify --timeout 0 >/dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 3 ]]; then
+    echo "robustness: verify --timeout 0 exited $code (want 3)"; exit 1
+fi
+
+# Fault-injection smoke through the env-var path: an injected prover
+# panic is isolated to one obligation (exit 2, completed report), and
+# an injected pass panic is skipped by the resilient pipeline (exit 0,
+# degraded report).
+set +e
+COBALT_FAULTS=checker.obligation:panic@1 "$COBALT" verify >/dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 2 ]]; then
+    echo "robustness: fault-injected verify exited $code (want 2)"; exit 1
+fi
+out=$(COBALT_FAULTS=engine.pass:panic@1 "$COBALT" optimize --resilient examples/programs/redundant.il 2>&1)
+if ! grep -q "degraded" <<<"$out"; then
+    echo "robustness: resilient optimize did not report degradation:"; echo "$out"; exit 1
+fi
+
 if [[ "${1:-}" == "--benches" ]]; then
     for bench in proof_times engine_scaling tv_vs_proof prover_ablation; do
         echo "== cargo bench --bench ${bench} (fast mode)"

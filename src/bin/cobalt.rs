@@ -3,17 +3,51 @@
 //!
 //! ```text
 //! cobalt run <prog.il> [--arg N]
-//! cobalt optimize <prog.il> [--passes a,b,…|all] [--rounds N] [--recursive-dae]
-//! cobalt verify [<suite.cob>] [--include-buggy]
+//! cobalt optimize <prog.il> [--passes a,b,…|all] [--rounds N] [--recursive-dae] [--resilient]
+//! cobalt verify [<suite.cob>] [--include-buggy] [--timeout SECS] [--max-splits N]
 //! cobalt validate <orig.il> <new.il>
 //! cobalt hunt <name|suite.cob> [--tries N]
 //! ```
+//!
+//! `verify` exit codes: 0 all proved; 2 an obligation genuinely failed
+//! (unsound); 3 failures were resource limits only (inconclusive);
+//! 1 anything else.
 
 use cobalt::dsl::{LabelEnv, Optimization, PureAnalysis};
 use cobalt::engine::Engine;
 use cobalt::il::{parse_program, pretty_program, Interp};
-use cobalt::verify::{SemanticMeanings, Verifier};
+use cobalt::verify::{RetryPolicy, SemanticMeanings, Verifier};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code for `verify` when an obligation genuinely failed (open
+/// branch or prover panic) — evidence of unsoundness.
+const EXIT_UNSOUND: u8 = 2;
+/// Exit code for `verify` when every failure was a resource limit
+/// (deadline, split/term/round cap) — inconclusive, not unsound.
+const EXIT_RESOURCE_LIMITED: u8 = 3;
+
+/// A CLI failure carrying its process exit code.
+#[derive(Debug)]
+struct CliError {
+    code: u8,
+    msg: String,
+}
+
+impl CliError {
+    fn general(msg: impl Into<String>) -> Self {
+        CliError {
+            code: 1,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::general(msg)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,8 +57,8 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("cobalt: {e}");
-            ExitCode::FAILURE
+            eprintln!("cobalt: {}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }
@@ -33,9 +67,14 @@ const USAGE: &str = "usage:
   cobalt run <prog.il> [--arg N]
       parse, validate, and interpret main(N) (default N = 0)
   cobalt optimize <prog.il> [--passes a,b|all] [--rounds N] [--recursive-dae]
-      run the (machine-verified) optimization suite and print the result
-  cobalt verify [<suite.cob>] [--include-buggy]
-      prove every optimization sound; with no file, the built-in suite
+                  [--resilient]
+      run the (machine-verified) optimization suite and print the
+      result; --resilient skips (rather than propagates) failing passes
+  cobalt verify [<suite.cob>] [--include-buggy] [--timeout SECS] [--max-splits N]
+      prove every optimization sound; with no file, the built-in suite.
+      --timeout bounds wall-clock per report; --max-splits caps case
+      splits per proof attempt. exit codes: 0 all proved, 2 unsound,
+      3 resource-limited (inconclusive), 1 other errors
   cobalt trace <prog.il> [--arg N]
       interpret main(N) printing every executed statement
   cobalt validate <orig.il> <new.il>
@@ -46,17 +85,19 @@ const USAGE: &str = "usage:
 ";
 
 /// Entry point, factored for testing.
-fn run_cli(args: &[String]) -> Result<String, String> {
+fn run_cli(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
-        Some("run") => cmd_run(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
-        Some("optimize") => cmd_optimize(&args[1..]),
+        Some("run") => cmd_run(&args[1..]).map_err(CliError::general),
+        Some("trace") => cmd_trace(&args[1..]).map_err(CliError::general),
+        Some("optimize") => cmd_optimize(&args[1..]).map_err(CliError::general),
         Some("verify") => cmd_verify(&args[1..]),
-        Some("validate") => cmd_validate(&args[1..]),
-        Some("hunt") => cmd_hunt(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]).map_err(CliError::general),
+        Some("hunt") => cmd_hunt(&args[1..]).map_err(CliError::general),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
-        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+        Some(other) => Err(CliError::general(format!(
+            "unknown command `{other}`\n{USAGE}"
+        ))),
     }
 }
 
@@ -79,9 +120,11 @@ fn positional(args: &[String]) -> Vec<&str> {
             continue;
         }
         if a.starts_with("--") {
-            // Flags with values: --arg, --passes, --rounds, --tries.
-            skip = matches!(a.as_str(), "--arg" | "--passes" | "--rounds" | "--tries")
-                && i + 1 < args.len();
+            // Flags with values.
+            skip = matches!(
+                a.as_str(),
+                "--arg" | "--passes" | "--rounds" | "--tries" | "--timeout" | "--max-splits"
+            ) && i + 1 < args.len();
             continue;
         }
         out.push(a.as_str());
@@ -157,6 +200,22 @@ fn cmd_optimize(args: &[String]) -> Result<String, String> {
     let prog = parse_program(&read(path)?).map_err(|e| e.to_string())?;
     cobalt::il::validate(&prog).map_err(|e| e.to_string())?;
     let engine = Engine::new(LabelEnv::standard());
+    if args.iter().any(|a| a == "--resilient") {
+        // Fault-isolating pipeline: a pass that errors or panics is
+        // skipped (soundly — see DESIGN.md §8), never fatal.
+        let (out, report) = engine.optimize_program_resilient(
+            &prog,
+            &cobalt::opts::all_analyses(),
+            &passes,
+            rounds,
+        );
+        let mut s = format!("// {}\n", report.summary());
+        for f in &report.failures {
+            s.push_str(&format!("// skipped: {f}\n"));
+        }
+        s.push_str(&pretty_program(&out));
+        return Ok(s);
+    }
     let (mut out, n) = engine
         .optimize_program(&prog, &cobalt::opts::all_analyses(), &passes, rounds)
         .map_err(|e| e.to_string())?;
@@ -194,29 +253,65 @@ fn load_suite(path: Option<&str>) -> Result<(Vec<Optimization>, Vec<PureAnalysis
     }
 }
 
-fn cmd_verify(args: &[String]) -> Result<String, String> {
+/// Builds the retry policy for `verify` from `--timeout` (per-report
+/// wall-clock budget in seconds, fractions allowed) and `--max-splits`
+/// (cap on case splits per proof attempt, applied to every tier).
+fn verify_policy(args: &[String]) -> Result<RetryPolicy, String> {
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = flag_value(args, "--max-splits") {
+        let n: usize = n.parse().map_err(|e| format!("--max-splits: {e}"))?;
+        for tier in &mut policy.tiers {
+            tier.max_splits = tier.max_splits.min(n);
+        }
+    }
+    if let Some(secs) = flag_value(args, "--timeout") {
+        let secs: f64 = secs.parse().map_err(|e| format!("--timeout: {e}"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!("--timeout: expected a nonnegative number, got `{secs}`"));
+        }
+        policy = policy.with_report_deadline(Duration::from_secs_f64(secs));
+    }
+    Ok(policy)
+}
+
+fn cmd_verify(args: &[String]) -> Result<String, CliError> {
     let pos = positional(args);
     let (opts, analyses) = load_suite(pos.first().copied())?;
-    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
+    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
+        .with_retry_policy(verify_policy(args)?);
     let mut out = String::new();
-    let mut all_ok = true;
-    for a in &analyses {
-        let report = verifier.verify_analysis(a).map_err(|e| e.to_string())?;
-        all_ok &= report.all_proved();
+    let mut unsound = false;
+    let mut limited = false;
+    let mut note_report = |report: &cobalt::verify::Report, out: &mut String| {
+        if !report.all_proved() {
+            if report.only_resource_limited_failures() {
+                limited = true;
+            } else {
+                unsound = true;
+            }
+        }
         out.push_str(&report.summary());
         out.push('\n');
         for o in report.outcomes.iter().filter(|o| !o.proved) {
-            out.push_str(&format!("  FAILED {}\n", o.id));
+            out.push_str(&format!(
+                "  FAILED {}{} — {}\n",
+                o.id,
+                if o.resource_limited {
+                    " (resource-limited)"
+                } else {
+                    ""
+                },
+                o.detail
+            ));
         }
+    };
+    for a in &analyses {
+        let report = verifier.verify_analysis(a).map_err(|e| e.to_string())?;
+        note_report(&report, &mut out);
     }
     for o in &opts {
         let report = verifier.verify_optimization(o).map_err(|e| e.to_string())?;
-        all_ok &= report.all_proved();
-        out.push_str(&report.summary());
-        out.push('\n');
-        for oc in report.outcomes.iter().filter(|oc| !oc.proved) {
-            out.push_str(&format!("  FAILED {}\n", oc.id));
-        }
+        note_report(&report, &mut out);
     }
     if args.iter().any(|a| a == "--include-buggy") {
         for o in cobalt::opts::buggy_optimizations() {
@@ -224,7 +319,9 @@ fn cmd_verify(args: &[String]) -> Result<String, String> {
             let rejected = !report.all_proved();
             // A buggy variant that verifies is itself a soundness
             // regression: fail the command.
-            all_ok &= rejected;
+            if !rejected {
+                unsound = true;
+            }
             out.push_str(&format!(
                 "{} — {}\n",
                 report.summary(),
@@ -236,11 +333,19 @@ fn cmd_verify(args: &[String]) -> Result<String, String> {
             ));
         }
     }
-    if all_ok {
+    if unsound {
+        Err(CliError {
+            code: EXIT_UNSOUND,
+            msg: format!("{out}some obligations failed"),
+        })
+    } else if limited {
+        Err(CliError {
+            code: EXIT_RESOURCE_LIMITED,
+            msg: format!("{out}proving hit resource limits (inconclusive, not unsound)"),
+        })
+    } else {
         out.push_str("all optimizations proved sound\n");
         Ok(out)
-    } else {
-        Err(format!("{out}some obligations failed"))
     }
 }
 
@@ -365,6 +470,60 @@ mod tests {
         let out = run_cli(&["verify".into(), p.clone()]).unwrap();
         assert!(out.contains("all optimizations proved sound"), "{out}");
         std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn verify_timeout_zero_exits_resource_limited() {
+        let p = write_tmp(
+            "suite_to.cob",
+            "forward const_prop {
+                stmt(Y := C) followed by !mayDef(Y)
+                until X := Y => X := C
+                with witness eta(Y) == C
+            }",
+        );
+        let err = run_cli(&[
+            "verify".into(),
+            p.clone(),
+            "--timeout".into(),
+            "0".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_RESOURCE_LIMITED, "{}", err.msg);
+        assert!(err.msg.contains("resource limits"), "{}", err.msg);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn verify_unsound_suite_exits_unsound() {
+        // const_prop with the guard protecting the wrong variable: the
+        // region no longer establishes eta(Y) == C, so an obligation
+        // fails on a genuine open branch.
+        let p = write_tmp(
+            "suite_bad.cob",
+            "forward bad_prop {
+                stmt(Y := C) followed by !mayDef(X)
+                until X := Y => X := C
+                with witness eta(Y) == C
+            }",
+        );
+        let err = run_cli(&["verify".into(), p.clone()]).unwrap_err();
+        assert_eq!(err.code, EXIT_UNSOUND, "{}", err.msg);
+        assert!(err.msg.contains("some obligations failed"), "{}", err.msg);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn verify_flags_parse_and_cap_tiers() {
+        let policy = verify_policy(&["--max-splits".into(), "7".into()]).unwrap();
+        assert!(policy.tiers.iter().all(|t| t.max_splits == 7));
+        assert!(verify_policy(&["--timeout".into(), "abc".into()]).is_err());
+        assert!(verify_policy(&["--timeout".into(), "-1".into()]).is_err());
+        let policy = verify_policy(&["--timeout".into(), "1.5".into()]).unwrap();
+        assert_eq!(
+            policy.report_deadline,
+            Some(std::time::Duration::from_millis(1500))
+        );
     }
 
     #[test]

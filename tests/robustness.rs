@@ -1,0 +1,200 @@
+//! Robustness: resource-governed proving and graceful degradation.
+//!
+//! The paper's workflow assumes the prover may be slow or may give up —
+//! "Simplify fails to prove it within a reasonable amount of time" is a
+//! legitimate outcome (§5.1). These tests pin down the engineering that
+//! makes that safe in practice: hard deadlines produce `Unknown`, not
+//! hangs; degenerate limits fail fast, not crash; a prover panic is
+//! contained to one obligation; and a pass that dies mid-pipeline is
+//! skipped while the rest of the compiler keeps its (machine-verified)
+//! soundness guarantee.
+
+use cobalt::dsl::LabelEnv;
+use cobalt::engine::Engine;
+use cobalt::il::{generate, EvalError, GenConfig, Interp, Program};
+use cobalt::logic::Limits;
+use cobalt::verify::{RetryPolicy, SemanticMeanings, Verifier};
+use cobalt_support::fault;
+use std::time::Duration;
+
+fn verifier() -> Verifier {
+    Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
+}
+
+/// Acceptance: under a 50ms per-report deadline the *whole* built-in
+/// suite still completes — every obligation gets an outcome (proved, or
+/// a deadline/limit `Unknown`), nothing hangs, nothing panics, and no
+/// failure claims unsoundness.
+#[test]
+fn fifty_ms_deadline_completes_suite_without_hang_or_panic() {
+    let v = verifier().with_retry_policy(
+        RetryPolicy::default().with_report_deadline(Duration::from_millis(50)),
+    );
+    for a in cobalt::opts::all_analyses() {
+        let report = v.verify_analysis(&a).unwrap();
+        assert!(!report.outcomes.is_empty());
+        assert!(
+            report.only_resource_limited_failures(),
+            "{}: a deadline failure must not look like unsoundness: {:#?}",
+            report.name,
+            report.outcomes
+        );
+    }
+    for o in cobalt::opts::all_optimizations() {
+        let report = v.verify_optimization(&o).unwrap();
+        assert!(!report.outcomes.is_empty());
+        assert!(
+            report.only_resource_limited_failures(),
+            "{}: a deadline failure must not look like unsoundness: {:#?}",
+            report.name,
+            report.outcomes
+        );
+        // Generous sanity bound: the report deadline is enforced per
+        // report, modulo one in-flight prover attempt.
+        assert!(
+            report.elapsed < Duration::from_secs(30),
+            "{}: report took {:?}",
+            report.name,
+            report.elapsed
+        );
+    }
+}
+
+/// The default retry policy changes nothing about E1: everything still
+/// proves, and the bookkeeping records at least one attempt per
+/// obligation.
+#[test]
+fn default_policy_proves_const_prop_with_attempt_bookkeeping() {
+    let report = verifier()
+        .verify_optimization(&cobalt::opts::const_prop())
+        .unwrap();
+    assert!(report.all_proved(), "{}", report.summary());
+    assert!(report.total_attempts() >= report.outcomes.len() as u32);
+    for o in &report.outcomes {
+        assert!(o.attempts >= 1);
+        assert_eq!(o.escalations, o.attempts - 1);
+    }
+    assert!(report.summary().contains("obligations proved"));
+}
+
+/// Degenerate limits (all zero) fail fast on *every* obligation — as a
+/// resource limit, before any search or interning starts.
+#[test]
+fn degenerate_zero_limits_fail_every_obligation_fast() {
+    let v = verifier().with_limits(Limits {
+        max_splits: 0,
+        max_inst_rounds: 0,
+        max_terms: 0,
+        deadline: None,
+    });
+    let start = std::time::Instant::now();
+    let report = v
+        .verify_optimization(&cobalt::opts::const_prop())
+        .unwrap();
+    assert!(!report.outcomes.is_empty());
+    for o in &report.outcomes {
+        assert!(!o.proved, "{}: proved under zero limits?", o.id);
+        assert!(o.resource_limited, "{}: {}", o.id, o.detail);
+        assert_eq!(o.attempts, 1);
+    }
+    assert!(report.only_resource_limited_failures());
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "zero limits must fail fast, took {:?}",
+        start.elapsed()
+    );
+}
+
+/// A prover panic is contained to the one obligation it occurred in:
+/// that obligation fails with a `panicked: …` detail (and is *not*
+/// counted as resource-limited), while every other obligation still
+/// proves.
+#[test]
+fn prover_panic_is_isolated_to_one_obligation() {
+    let report = fault::with_faults("checker.obligation:panic@1", || {
+        verifier()
+            .verify_optimization(&cobalt::opts::const_prop())
+            .unwrap()
+    });
+    let panicked: Vec<_> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.detail.starts_with("panicked:"))
+        .collect();
+    assert_eq!(panicked.len(), 1, "{:#?}", report.outcomes);
+    assert!(!panicked[0].proved);
+    assert!(!panicked[0].resource_limited);
+    assert!(panicked[0].detail.contains("injected fault"));
+    let others_proved = report
+        .outcomes
+        .iter()
+        .filter(|o| !o.detail.starts_with("panicked:"))
+        .all(|o| o.proved);
+    assert!(others_proved, "{:#?}", report.outcomes);
+    assert!(!report.only_resource_limited_failures());
+}
+
+/// E7-style semantic check: whenever the original returns a value, the
+/// transformed program returns the same one.
+fn check_equivalent(orig: &Program, new: &Program, arg: i64, context: &str) {
+    match Interp::new(orig).with_fuel(200_000).run(arg) {
+        Ok(v) => match Interp::new(new).with_fuel(400_000).run(arg) {
+            Ok(w) => assert_eq!(v, w, "{context}: result changed for arg {arg}"),
+            Err(e) => panic!("{context}: original returned {v}, transformed failed: {e}"),
+        },
+        Err(EvalError::Stuck { .. }) | Err(EvalError::OutOfFuel) => {}
+        Err(other) => panic!("{context}: unexpected {other}"),
+    }
+}
+
+/// Acceptance: with a fault making a pass panic mid-pipeline, the
+/// resilient driver completes, names the skipped pass, and the output
+/// is still semantics-preserving by the differential harness.
+#[test]
+fn fault_injected_pass_panic_degrades_gracefully_and_preserves_semantics() {
+    let engine = Engine::new(LabelEnv::standard());
+    let analyses = cobalt::opts::all_analyses();
+    let passes = cobalt::opts::default_pipeline();
+    for seed in [7u64, 19, 42] {
+        let prog = generate(&GenConfig::sized(30, seed));
+        // Hit 2: the first pass application survives, the second one
+        // panics — mid-pipeline, not at the start.
+        let (out, report) = fault::with_faults("engine.pass:panic@2", || {
+            engine.optimize_program_resilient(&prog, &analyses, &passes, 3)
+        });
+        assert!(report.degraded(), "seed {seed}: fault did not fire");
+        assert_eq!(report.skipped_passes().len(), 1);
+        assert!(
+            report.failures[0].reason.contains("injected fault"),
+            "seed {seed}: {}",
+            report.failures[0].reason
+        );
+        assert!(report.summary().contains("degraded: skipped"));
+        for arg in -4..10 {
+            check_equivalent(&prog, &out, arg, &format!("seed {seed}, degraded pipeline"));
+        }
+    }
+}
+
+/// The resilient driver without any faults is exactly the strict
+/// driver: same output programs, same rewrite count, empty report.
+#[test]
+fn resilient_driver_is_transparent_without_faults() {
+    let engine = Engine::new(LabelEnv::standard());
+    let analyses = cobalt::opts::all_analyses();
+    let passes = cobalt::opts::default_pipeline();
+    for seed in [3u64, 11] {
+        let prog = generate(&GenConfig::sized(25, seed));
+        let (strict, n) = engine
+            .optimize_program(&prog, &analyses, &passes, 3)
+            .unwrap();
+        let (resilient, report) = engine.optimize_program_resilient(&prog, &analyses, &passes, 3);
+        assert_eq!(
+            cobalt::il::pretty_program(&strict),
+            cobalt::il::pretty_program(&resilient),
+            "seed {seed}"
+        );
+        assert_eq!(report.applied, n, "seed {seed}");
+        assert!(!report.degraded(), "seed {seed}: {:#?}", report.failures);
+    }
+}
