@@ -75,22 +75,20 @@ impl Guard {
 
     /// Conjunction helper.
     pub fn and(parts: impl IntoIterator<Item = Guard>) -> Guard {
-        let v: Vec<Guard> = parts.into_iter().collect();
-        match v.len() {
-            0 => Guard::True,
-            1 => v.into_iter().next().expect("len checked"),
-            _ => Guard::And(v),
+        let mut v: Vec<Guard> = parts.into_iter().collect();
+        if v.len() > 1 {
+            return Guard::And(v);
         }
+        v.pop().unwrap_or(Guard::True)
     }
 
     /// Disjunction helper.
     pub fn or(parts: impl IntoIterator<Item = Guard>) -> Guard {
-        let v: Vec<Guard> = parts.into_iter().collect();
-        match v.len() {
-            0 => Guard::False,
-            1 => v.into_iter().next().expect("len checked"),
-            _ => Guard::Or(v),
+        let mut v: Vec<Guard> = parts.into_iter().collect();
+        if v.len() > 1 {
+            return Guard::Or(v);
         }
+        v.pop().unwrap_or(Guard::False)
     }
 
     /// A `¬l(args)` shorthand.
@@ -678,5 +676,25 @@ mod tests {
         assert_eq!(d.vars.len(), 2);
         assert_eq!(d.consts, vec![5, 2]);
         assert_eq!(d.exprs.len(), 2);
+    }
+
+    #[test]
+    fn and_helper_is_total_over_every_arity() {
+        assert_eq!(Guard::and([]), Guard::True);
+        assert_eq!(Guard::and([Guard::False]), Guard::False);
+        assert_eq!(
+            Guard::and([Guard::True, Guard::False]),
+            Guard::And(vec![Guard::True, Guard::False])
+        );
+    }
+
+    #[test]
+    fn or_helper_is_total_over_every_arity() {
+        assert_eq!(Guard::or([]), Guard::False);
+        assert_eq!(Guard::or([Guard::True]), Guard::True);
+        assert_eq!(
+            Guard::or([Guard::False, Guard::True]),
+            Guard::Or(vec![Guard::False, Guard::True])
+        );
     }
 }

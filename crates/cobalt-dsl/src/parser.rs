@@ -583,13 +583,16 @@ impl Parser {
     // ---- witnesses ------------------------------------------------------
 
     fn parse_forward_witness(&mut self) -> Result<ForwardWitness, DslParseError> {
-        let mut parts = vec![self.parse_forward_witness_atom()?];
+        let first = self.parse_forward_witness_atom()?;
+        let mut rest = Vec::new();
         while self.eat_sym("&&") {
-            parts.push(self.parse_forward_witness_atom()?);
+            rest.push(self.parse_forward_witness_atom()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("len checked")
+        Ok(if rest.is_empty() {
+            first
         } else {
+            let mut parts = vec![first];
+            parts.extend(rest);
             ForwardWitness::And(parts)
         })
     }
@@ -1098,5 +1101,34 @@ mod tests {
         )
         .unwrap();
         assert_eq!(opt.name, "const_prop");
+    }
+
+    #[test]
+    fn forward_witness_parses_single_atom_and_conjunction() {
+        let single = parse_optimization(
+            "forward w1 {
+                stmt(Y := C) followed by !mayDef(Y)
+                until X := Y => X := C
+                with witness eta(Y) == C
+            }",
+        )
+        .unwrap();
+        assert_eq!(
+            single.pattern.witness,
+            Witness::Forward(ForwardWitness::VarEqConst(VarPat::pat("Y"), ConstPat::pat("C")))
+        );
+        let conj = parse_optimization(
+            "forward w2 {
+                stmt(Y := C) followed by !mayDef(Y)
+                until X := Y => X := C
+                with witness eta(Y) == C && true
+            }",
+        )
+        .unwrap();
+        let Witness::Forward(ForwardWitness::And(parts)) = &conj.pattern.witness else {
+            panic!("expected a conjunction, got {:?}", conj.pattern.witness);
+        };
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[1], ForwardWitness::True);
     }
 }

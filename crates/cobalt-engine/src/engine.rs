@@ -33,12 +33,30 @@ use cobalt_il::{Proc, Program};
 #[derive(Debug, Clone)]
 pub struct Engine {
     env: LabelEnv,
+    lint_prepass: bool,
 }
 
 impl Engine {
     /// Creates an engine with the given label environment.
     pub fn new(env: LabelEnv) -> Self {
-        Engine { env }
+        Engine {
+            env,
+            lint_prepass: false,
+        }
+    }
+
+    /// Enables the opt-in lint pre-pass in the resilient drivers: rules
+    /// with error-severity lint diagnostics are quarantined as
+    /// [`PassFailure`](crate::PassFailure)s before any round runs,
+    /// instead of failing (or silently doing nothing) mid-pipeline.
+    pub fn with_lint_prepass(mut self) -> Self {
+        self.lint_prepass = true;
+        self
+    }
+
+    /// Whether the resilient drivers lint rules before running them.
+    pub fn lint_prepass_enabled(&self) -> bool {
+        self.lint_prepass
     }
 
     /// The label environment in use.

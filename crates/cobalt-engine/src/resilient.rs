@@ -114,6 +114,17 @@ fn isolate<T>(f: impl FnOnce() -> Result<T, EngineError>) -> Result<T, String> {
     }
 }
 
+/// A quarantine reason naming the error-severity diagnostic codes,
+/// e.g. `rejected by lint: [CL001, CL009]`.
+fn lint_reason(diags: &cobalt_lint::Diagnostics) -> String {
+    let codes: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.severity == cobalt_lint::Severity::Error)
+        .map(|d| d.code)
+        .collect();
+    format!("rejected by lint: [{}]", codes.join(", "))
+}
+
 fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -156,6 +167,43 @@ impl Engine {
                 reason,
             });
         };
+        // Opt-in lint pre-pass ([`Engine::with_lint_prepass`]):
+        // structurally malformed rules are quarantined up front with
+        // their diagnostic codes, instead of erroring — or silently
+        // matching nothing — in every round. The linter itself runs
+        // under the same isolation as a pass, so a lint panic (or an
+        // injected `lint.rule` fault) degrades instead of aborting.
+        if self.lint_prepass_enabled() {
+            let ctx = cobalt_lint::LintContext::new(self.env()).with_analyses(analyses);
+            let lint_opts = cobalt_lint::RuleLintOptions::structural();
+            for analysis in analyses {
+                let key = format!("analysis:{}", analysis.name);
+                match isolate(|| Ok(cobalt_lint::lint_analysis(analysis, &ctx, &lint_opts))) {
+                    Ok(diags) if diags.has_errors() => {
+                        fail(&mut report, &mut dead, key, 0, lint_reason(&diags));
+                    }
+                    Ok(_) => {}
+                    Err(reason) => fail(&mut report, &mut dead, key, 0, reason),
+                }
+            }
+            for opt in opts {
+                match isolate(|| Ok(cobalt_lint::lint_optimization(opt, &ctx, &lint_opts))) {
+                    Ok(diags) if diags.has_errors() => {
+                        fail(
+                            &mut report,
+                            &mut dead,
+                            opt.name.to_string(),
+                            0,
+                            lint_reason(&diags),
+                        );
+                    }
+                    Ok(_) => {}
+                    Err(reason) => {
+                        fail(&mut report, &mut dead, opt.name.to_string(), 0, reason);
+                    }
+                }
+            }
+        }
         for round in 0..max_rounds {
             let mut round_applied = 0;
             for opt in opts {
@@ -374,6 +422,81 @@ mod tests {
         assert!(report.degraded());
         assert_eq!(report.skipped_passes(), vec!["const_prop"]);
         assert!(report.failures[0].reason.contains("injected fault"));
+        assert_eq!(
+            cobalt_il::pretty_program(&out),
+            cobalt_il::pretty_program(&prog)
+        );
+    }
+
+    /// A rule whose template uses `C`, which nothing binds (CL001).
+    fn lint_broken() -> Optimization {
+        let mut opt = const_prop();
+        opt.name = "broken".into();
+        opt.pattern.guard = GuardSpec::Region(RegionGuard {
+            psi1: Guard::True,
+            psi2: Guard::True,
+        });
+        opt.pattern.witness = Witness::Forward(ForwardWitness::True);
+        opt
+    }
+
+    #[test]
+    fn lint_prepass_is_off_by_default_and_builder_enables_it() {
+        let engine = Engine::new(LabelEnv::standard());
+        assert!(!engine.lint_prepass_enabled());
+        assert!(engine.with_lint_prepass().lint_prepass_enabled());
+    }
+
+    #[test]
+    fn lint_prepass_quarantines_malformed_rule() {
+        let engine = Engine::new(LabelEnv::standard()).with_lint_prepass();
+        let prog = sample();
+        let (out, report) =
+            engine.optimize_program_resilient(&prog, &[], &[lint_broken(), const_prop()], 5);
+        // The clean pass still ran to fixpoint.
+        assert_eq!(out.main().unwrap().stmts[1].to_string(), "b := 2");
+        assert!(report.degraded());
+        assert_eq!(report.skipped_passes(), vec!["broken"]);
+        assert!(
+            report.failures[0].reason.contains("CL001"),
+            "reason should name the diagnostic code: {}",
+            report.failures[0].reason
+        );
+    }
+
+    #[test]
+    fn lint_prepass_quarantines_malformed_analysis() {
+        let engine = Engine::new(LabelEnv::standard()).with_lint_prepass();
+        let prog = sample();
+        let analyses = [PureAnalysis {
+            name: "bogus".into(),
+            guard: RegionGuard {
+                psi1: Guard::Stmt(StmtPat::Decl(VarPat::pat("X"))),
+                psi2: Guard::True,
+            },
+            // Defines a fact over `Q`, which nothing binds (CL001).
+            defines: ("facts".into(), vec![LabelArgPat::Var(VarPat::pat("Q"))]),
+            witness: ForwardWitness::True,
+        }];
+        let (out, report) =
+            engine.optimize_program_resilient(&prog, &analyses, &[const_prop()], 5);
+        assert_eq!(out.main().unwrap().stmts[1].to_string(), "b := 2");
+        assert_eq!(report.skipped_passes(), vec!["analysis:bogus"]);
+        assert!(report.failures[0].reason.contains("rejected by lint"));
+    }
+
+    #[test]
+    fn lint_prepass_panic_is_isolated() {
+        let engine = Engine::new(LabelEnv::standard()).with_lint_prepass();
+        let prog = sample();
+        let (out, report) = cobalt_support::fault::with_faults("lint.rule:panic@1", || {
+            engine.optimize_program_resilient(&prog, &[], &[const_prop()], 5)
+        });
+        // The linter blew up on the only pass, so it is quarantined and
+        // the program comes back unchanged — but the pipeline finishes.
+        assert!(report.degraded());
+        assert_eq!(report.skipped_passes(), vec!["const_prop"]);
+        assert!(report.failures[0].reason.contains("panicked"));
         assert_eq!(
             cobalt_il::pretty_program(&out),
             cobalt_il::pretty_program(&prog)

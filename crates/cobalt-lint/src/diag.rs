@@ -1,0 +1,332 @@
+//! The diagnostics core: codes, severities, locations, and a sink.
+//!
+//! Every lint produces a [`Diagnostic`] with a registered code
+//! (`CL0xx` for rule lints, `IL0xx` for IL lints; see DESIGN.md §9 for
+//! the registry). A [`Diagnostics`] sink collects them, renders them
+//! for humans, and serializes them as one-line JSON records mirroring
+//! the `BENCH_JSON` convention (hand-rolled, no external serializer).
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not definitely wrong; does not gate the prover.
+    Warning,
+    /// Definitely malformed; gates the prover and fails `cobalt lint`.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in human and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Location {
+    /// A part of a named rule or analysis (`psi1`, `from`, `witness`, …).
+    Rule {
+        /// The rule or analysis name.
+        rule: String,
+        /// The syntactic part the diagnostic is about.
+        part: String,
+    },
+    /// A statement (or the whole body) of an IL procedure.
+    Il {
+        /// The procedure name.
+        proc: String,
+        /// The statement index, if the diagnostic is node-specific.
+        index: Option<usize>,
+    },
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Rule { rule, part } => write!(f, "{rule}/{part}"),
+            Location::Il { proc, index: Some(i) } => write!(f, "{proc}:{i}"),
+            Location::Il { proc, index: None } => write!(f, "{proc}"),
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The registered code, e.g. `"CL001"` or `"IL003"`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// Where.
+    pub location: Location,
+    /// An optional remediation hint.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: &'static str, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            location,
+            suggestion: None,
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: &'static str, location: Location, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            location,
+            suggestion: None,
+        }
+    }
+
+    /// Attaches a remediation hint.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    /// One-line JSON record (hermetic hand-rolled serialization, same
+    /// style as the bench harness's `BENCH_JSON` lines).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"code\":\"{}\",\"severity\":\"{}\"",
+            self.code, self.severity
+        ));
+        match &self.location {
+            Location::Rule { rule, part } => out.push_str(&format!(
+                ",\"rule\":\"{}\",\"part\":\"{}\"",
+                json_escape(rule),
+                json_escape(part)
+            )),
+            Location::Il { proc, index } => {
+                out.push_str(&format!(",\"proc\":\"{}\"", json_escape(proc)));
+                if let Some(i) = index {
+                    out.push_str(&format!(",\"index\":{i}"));
+                }
+            }
+        }
+        out.push_str(&format!(",\"message\":\"{}\"", json_escape(&self.message)));
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!(",\"suggestion\":\"{}\"", json_escape(s)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (hint: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A sink of diagnostics with severity accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Records one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Absorbs another sink's diagnostics.
+    pub fn absorb(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// All diagnostics, in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.items.len() - self.error_count()
+    }
+
+    /// Whether any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Whether the run fails under the given threshold: errors always
+    /// fail; warnings fail only when `deny_warnings` is set (the CLI's
+    /// `--deny warn`).
+    pub fn is_failing(&self, deny_warnings: bool) -> bool {
+        self.has_errors() || (deny_warnings && !self.is_empty())
+    }
+
+    /// Human rendering, one line per diagnostic plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lint: {} error(s), {} warning(s)\n",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// Machine rendering: one JSON record per line.
+    pub fn json_lines(&self) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule_loc() -> Location {
+        Location::Rule {
+            rule: "const_prop".into(),
+            part: "to".into(),
+        }
+    }
+
+    #[test]
+    fn severity_ordering_and_names() {
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn human_rendering_includes_code_and_location() {
+        let d = Diagnostic::error("CL001", rule_loc(), "unbound pattern variable `C`")
+            .with_suggestion("bind `C` in psi1 or from");
+        let s = d.to_string();
+        assert!(s.contains("error[CL001]"), "{s}");
+        assert!(s.contains("const_prop/to"), "{s}");
+        assert!(s.contains("hint:"), "{s}");
+    }
+
+    #[test]
+    fn json_record_shape_and_escaping() {
+        let d = Diagnostic::warning(
+            "IL003",
+            Location::Il {
+                proc: "main".into(),
+                index: Some(3),
+            },
+            "unreachable \"statement\"\n",
+        );
+        let j = d.json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"code\":\"IL003\""), "{j}");
+        assert!(j.contains("\"severity\":\"warning\""), "{j}");
+        assert!(j.contains("\"proc\":\"main\""), "{j}");
+        assert!(j.contains("\"index\":3"), "{j}");
+        assert!(j.contains("\\\"statement\\\""), "{j}");
+        assert!(j.contains("\\n"), "{j}");
+        assert!(!j.contains('\n'), "must be one line: {j}");
+    }
+
+    #[test]
+    fn sink_accounting_and_thresholds() {
+        let mut ds = Diagnostics::new();
+        assert!(ds.is_empty() && !ds.is_failing(true));
+        ds.push(Diagnostic::warning("IL005", rule_loc(), "w"));
+        assert!(!ds.has_errors());
+        assert!(!ds.is_failing(false));
+        assert!(ds.is_failing(true), "--deny warn promotes warnings");
+        ds.push(Diagnostic::error("CL001", rule_loc(), "e"));
+        assert_eq!((ds.error_count(), ds.warning_count()), (1, 1));
+        assert!(ds.is_failing(false));
+        let human = ds.render_human();
+        assert!(human.contains("1 error(s), 1 warning(s)"), "{human}");
+        assert_eq!(ds.json_lines().lines().count(), 2);
+    }
+
+    #[test]
+    fn absorb_merges_in_order() {
+        let mut a = Diagnostics::new();
+        a.push(Diagnostic::error("CL001", rule_loc(), "first"));
+        let mut b = Diagnostics::new();
+        b.push(Diagnostic::error("CL002", rule_loc(), "second"));
+        a.absorb(b);
+        let codes: Vec<_> = a.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["CL001", "CL002"]);
+    }
+}

@@ -1,0 +1,1205 @@
+//! The rule linter: structural well-formedness checks over `cobalt-dsl`
+//! ASTs, emitting `CL0xx` diagnostics (registry in DESIGN.md §9).
+//!
+//! The linter understands the engine's binding discipline: at apply
+//! time a rewrite's substitution carries every variable matched by the
+//! positive statement patterns of `ψ1`, every non-statement pattern
+//! variable of `ψ1` (enumerated over the procedure domain by
+//! [`Guard::solve`]), and every variable bound by matching `from`.
+//! Statement patterns under negation or inside `case` arms never
+//! contribute bindings — a template or witness variable whose only
+//! occurrence is there can never be instantiated.
+
+use crate::diag::{Diagnostic, Diagnostics, Location};
+use crate::vacuous;
+use cobalt_dsl::{
+    BackwardWitness, BasePat, ConstPat, Direction, ExprPat, ForwardWitness, Guard, GuardSpec,
+    LabelArgPat, LabelEnv, LhsPat, Optimization, PureAnalysis, StmtPat, VarPat, Witness,
+};
+use cobalt_support::fault;
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Options for a rule-lint run.
+#[derive(Debug, Clone)]
+pub struct RuleLintOptions {
+    /// Run the budgeted solver-backed guard-contradiction quick-check
+    /// (CL008). Off in the checker's fast pre-verification gate, on in
+    /// `cobalt lint`.
+    pub vacuous_check: bool,
+    /// Wall-clock budget for one CL008 quick-check.
+    pub vacuous_deadline: Duration,
+}
+
+impl Default for RuleLintOptions {
+    fn default() -> Self {
+        RuleLintOptions {
+            vacuous_check: true,
+            vacuous_deadline: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RuleLintOptions {
+    /// Structural checks only: no solver, suitable for a <1ms gate.
+    pub fn structural() -> Self {
+        RuleLintOptions {
+            vacuous_check: false,
+            ..RuleLintOptions::default()
+        }
+    }
+}
+
+/// What the linter knows about labels: the definition environment plus
+/// the names attached semantically by pure analyses.
+#[derive(Debug, Clone)]
+pub struct LintContext<'a> {
+    env: &'a LabelEnv,
+    semantic: BTreeSet<String>,
+}
+
+impl<'a> LintContext<'a> {
+    /// A context over `env`; the built-in semantic label `notTainted`
+    /// (paper §2.4) is always known.
+    pub fn new(env: &'a LabelEnv) -> Self {
+        let mut semantic = BTreeSet::new();
+        semantic.insert("notTainted".to_string());
+        LintContext { env, semantic }
+    }
+
+    /// Also treat every label defined by `analyses` as known.
+    pub fn with_analyses(mut self, analyses: &[PureAnalysis]) -> Self {
+        for a in analyses {
+            self.semantic.insert(a.defines.0.to_string());
+        }
+        self
+    }
+}
+
+/// Variable occurrences collected from a guard, split by how the
+/// engine's solve/eval discipline treats them.
+#[derive(Debug, Default)]
+struct GuardVars {
+    /// Statement-pattern variables in positive, non-`case` positions:
+    /// these bind by matching.
+    positive_binders: BTreeSet<String>,
+    /// Statement-pattern variables that can never bind: under a
+    /// negation or inside a `case` arm.
+    local_binders: BTreeSet<String>,
+    /// Non-statement pattern variables (label arguments, equality
+    /// operands, `unchanged` operands): `solve` enumerates these over
+    /// the procedure domain, so they are bound in every fact.
+    uses: BTreeSet<String>,
+}
+
+fn var_pat(out: &mut BTreeSet<String>, vp: &VarPat) {
+    if let VarPat::Pat(p) = vp {
+        out.insert(p.as_str().to_string());
+    }
+}
+
+fn const_pat(out: &mut BTreeSet<String>, cp: &ConstPat) {
+    if let ConstPat::Pat(p) = cp {
+        out.insert(p.as_str().to_string());
+    }
+}
+
+fn base_pat(out: &mut BTreeSet<String>, bp: &BasePat) {
+    match bp {
+        BasePat::Var(v) => var_pat(out, v),
+        BasePat::Const(c) => const_pat(out, c),
+    }
+}
+
+fn expr_pat(out: &mut BTreeSet<String>, ep: &ExprPat) {
+    match ep {
+        ExprPat::Pat(p) | ExprPat::Fold(p) => {
+            out.insert(p.as_str().to_string());
+        }
+        ExprPat::Any => {}
+        ExprPat::Base(b) => base_pat(out, b),
+        ExprPat::Deref(v) | ExprPat::AddrOf(v) => var_pat(out, v),
+        ExprPat::Op(_, args) => {
+            for a in args {
+                base_pat(out, a);
+            }
+        }
+    }
+}
+
+/// All pattern variables of a statement pattern, of every fragment kind.
+fn stmt_pat_vars(out: &mut BTreeSet<String>, sp: &StmtPat) {
+    match sp {
+        StmtPat::Any | StmtPat::Skip | StmtPat::ReturnAny => {}
+        StmtPat::Decl(v) | StmtPat::New(v) | StmtPat::Return(v) => var_pat(out, v),
+        StmtPat::Assign(lhs, e) => {
+            match lhs {
+                LhsPat::Var(v) | LhsPat::Deref(v) => var_pat(out, v),
+                LhsPat::Any => {}
+            }
+            expr_pat(out, e);
+        }
+        StmtPat::Call { dst, proc, arg } => {
+            var_pat(out, dst);
+            if let cobalt_dsl::ProcPat::Pat(p) = proc {
+                out.insert(p.as_str().to_string());
+            }
+            base_pat(out, arg);
+        }
+        StmtPat::If {
+            cond,
+            then_target,
+            else_target,
+        } => {
+            base_pat(out, cond);
+            for t in [then_target, else_target] {
+                if let cobalt_dsl::IdxPat::Pat(p) = t {
+                    out.insert(p.as_str().to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Whether a statement pattern contains a wildcard that cannot be
+/// instantiated as a template (`...`, `return ...`).
+fn stmt_pat_has_wildcard(sp: &StmtPat) -> bool {
+    match sp {
+        StmtPat::Any | StmtPat::ReturnAny => true,
+        StmtPat::Assign(lhs, e) => {
+            matches!(lhs, LhsPat::Any) || matches!(e, ExprPat::Any)
+        }
+        _ => false,
+    }
+}
+
+/// Whether a statement pattern contains `fold(_)`, which never matches
+/// any concrete statement ([`ExprPat::Fold`] is template-only).
+fn stmt_pat_has_fold(sp: &StmtPat) -> bool {
+    matches!(sp, StmtPat::Assign(_, ExprPat::Fold(_)))
+}
+
+/// Whether any statement pattern inside the guard contains `fold(_)`.
+fn guard_has_fold(g: &Guard) -> bool {
+    match g {
+        Guard::Stmt(sp) => stmt_pat_has_fold(sp),
+        Guard::Not(inner) => guard_has_fold(inner),
+        Guard::And(gs) | Guard::Or(gs) => gs.iter().any(guard_has_fold),
+        Guard::CaseStmt { arms, default } => {
+            arms.iter()
+                .any(|(pat, g)| stmt_pat_has_fold(pat) || guard_has_fold(g))
+                || guard_has_fold(default)
+        }
+        _ => false,
+    }
+}
+
+fn collect_guard(g: &Guard, positive: bool, in_arm: bool, acc: &mut GuardVars) {
+    match g {
+        Guard::True | Guard::False => {}
+        Guard::Not(inner) => collect_guard(inner, false, in_arm, acc),
+        Guard::And(gs) | Guard::Or(gs) => {
+            for g in gs {
+                collect_guard(g, positive, in_arm, acc);
+            }
+        }
+        Guard::Stmt(sp) => {
+            let sink = if positive && !in_arm {
+                &mut acc.positive_binders
+            } else {
+                &mut acc.local_binders
+            };
+            stmt_pat_vars(sink, sp);
+        }
+        Guard::Label(_, args) => {
+            let mut vs = Vec::new();
+            for a in args {
+                a.pattern_vars(&mut vs);
+                // `pattern_vars` only reports top-level pattern
+                // variables; compound expression arguments may mention
+                // more.
+                if let LabelArgPat::Expr(e) = a {
+                    expr_pat(&mut acc.uses, e);
+                }
+            }
+            for (p, _) in vs {
+                acc.uses.insert(p.as_str().to_string());
+            }
+        }
+        Guard::SyntacticDef(v) | Guard::SyntacticUse(v) => var_pat(&mut acc.uses, v),
+        Guard::Unchanged(e) => expr_pat(&mut acc.uses, e),
+        Guard::ConstEq(a, b) => {
+            const_pat(&mut acc.uses, a);
+            const_pat(&mut acc.uses, b);
+        }
+        Guard::VarEq(a, b) => {
+            var_pat(&mut acc.uses, a);
+            var_pat(&mut acc.uses, b);
+        }
+        Guard::CaseStmt { arms, default } => {
+            for (pat, g) in arms {
+                stmt_pat_vars(&mut acc.local_binders, pat);
+                collect_guard(g, positive, true, acc);
+            }
+            collect_guard(default, positive, true, acc);
+        }
+    }
+}
+
+/// Pattern variables a witness refers to.
+fn witness_vars(out: &mut BTreeSet<String>, w: &Witness) {
+    match w {
+        Witness::Forward(fw) => forward_witness_vars(out, fw),
+        Witness::Backward(bw) => match bw {
+            BackwardWitness::Identical => {}
+            BackwardWitness::AgreeExcept(v) => var_pat(out, v),
+        },
+    }
+}
+
+fn forward_witness_vars(out: &mut BTreeSet<String>, w: &ForwardWitness) {
+    match w {
+        ForwardWitness::True => {}
+        ForwardWitness::VarEqConst(v, c) => {
+            var_pat(out, v);
+            const_pat(out, c);
+        }
+        ForwardWitness::VarEqVar(a, b) => {
+            var_pat(out, a);
+            var_pat(out, b);
+        }
+        ForwardWitness::VarEqExpr(v, e) => {
+            var_pat(out, v);
+            expr_pat(out, e);
+        }
+        ForwardWitness::NotPointedTo(v) => var_pat(out, v),
+        ForwardWitness::And(ws) => {
+            for w in ws {
+                forward_witness_vars(out, w);
+            }
+        }
+    }
+}
+
+/// All `case` constructs in a guard, for the arm-reachability check.
+fn case_stmts<'g>(g: &'g Guard, out: &mut Vec<&'g Guard>) {
+    match g {
+        Guard::Not(inner) => case_stmts(inner, out),
+        Guard::And(gs) | Guard::Or(gs) => {
+            for g in gs {
+                case_stmts(g, out);
+            }
+        }
+        Guard::CaseStmt { arms, default } => {
+            out.push(g);
+            for (_, g) in arms {
+                case_stmts(g, out);
+            }
+            case_stmts(default, out);
+        }
+        _ => {}
+    }
+}
+
+/// Conservative subsumption between statement patterns: `true` only if
+/// every statement matched by `b` is also matched by `a` (so an arm
+/// with pattern `b` after an arm with pattern `a` is unreachable).
+/// Nonlinear patterns (repeated variables) are never reported.
+fn pat_subsumes(a: &StmtPat, b: &StmtPat) -> bool {
+    // A repeated variable constrains matching position-dependently, so
+    // position-wise subsumption would be unsound; bail out.
+    let mut occurrences = Vec::new();
+    stmt_pat_var_list(a, &mut occurrences);
+    let distinct: BTreeSet<&String> = occurrences.iter().collect();
+    if distinct.len() != occurrences.len() {
+        return false;
+    }
+    subsumes_inner(a, b)
+}
+
+/// Every pattern-variable occurrence in `sp`, in order, with repeats.
+fn stmt_pat_var_list(sp: &StmtPat, out: &mut Vec<String>) {
+    let var = |out: &mut Vec<String>, vp: &VarPat| {
+        if let VarPat::Pat(p) = vp {
+            out.push(p.as_str().to_string());
+        }
+    };
+    let base = |out: &mut Vec<String>, bp: &BasePat| match bp {
+        BasePat::Var(VarPat::Pat(p)) | BasePat::Const(ConstPat::Pat(p)) => {
+            out.push(p.as_str().to_string());
+        }
+        _ => {}
+    };
+    match sp {
+        StmtPat::Any | StmtPat::Skip | StmtPat::ReturnAny => {}
+        StmtPat::Decl(v) | StmtPat::New(v) | StmtPat::Return(v) => var(out, v),
+        StmtPat::Assign(lhs, e) => {
+            match lhs {
+                LhsPat::Var(v) | LhsPat::Deref(v) => var(out, v),
+                LhsPat::Any => {}
+            }
+            match e {
+                ExprPat::Pat(p) | ExprPat::Fold(p) => out.push(p.as_str().to_string()),
+                ExprPat::Any => {}
+                ExprPat::Base(b) => base(out, b),
+                ExprPat::Deref(v) | ExprPat::AddrOf(v) => var(out, v),
+                ExprPat::Op(_, args) => {
+                    for a in args {
+                        base(out, a);
+                    }
+                }
+            }
+        }
+        StmtPat::Call { dst, proc, arg } => {
+            var(out, dst);
+            if let cobalt_dsl::ProcPat::Pat(p) = proc {
+                out.push(p.as_str().to_string());
+            }
+            base(out, arg);
+        }
+        StmtPat::If {
+            cond,
+            then_target,
+            else_target,
+        } => {
+            base(out, cond);
+            for t in [then_target, else_target] {
+                if let cobalt_dsl::IdxPat::Pat(p) = t {
+                    out.push(p.as_str().to_string());
+                }
+            }
+        }
+    }
+}
+
+fn subsumes_inner(a: &StmtPat, b: &StmtPat) -> bool {
+    match (a, b) {
+        (StmtPat::Any, _) => true,
+        (StmtPat::ReturnAny, StmtPat::Return(_) | StmtPat::ReturnAny) => true,
+        (StmtPat::Skip, StmtPat::Skip) => true,
+        (StmtPat::Decl(x), StmtPat::Decl(y))
+        | (StmtPat::New(x), StmtPat::New(y))
+        | (StmtPat::Return(x), StmtPat::Return(y)) => var_subsumes(x, y),
+        (StmtPat::Assign(l1, e1), StmtPat::Assign(l2, e2)) => {
+            lhs_subsumes(l1, l2) && expr_subsumes(e1, e2)
+        }
+        (
+            StmtPat::Call {
+                dst: d1,
+                proc: p1,
+                arg: a1,
+            },
+            StmtPat::Call {
+                dst: d2,
+                proc: p2,
+                arg: a2,
+            },
+        ) => var_subsumes(d1, d2) && proc_subsumes(p1, p2) && base_subsumes(a1, a2),
+        (
+            StmtPat::If {
+                cond: c1,
+                then_target: t1,
+                else_target: e1,
+            },
+            StmtPat::If {
+                cond: c2,
+                then_target: t2,
+                else_target: e2,
+            },
+        ) => base_subsumes(c1, c2) && idx_subsumes(t1, t2) && idx_subsumes(e1, e2),
+        _ => false,
+    }
+}
+
+fn var_subsumes(a: &VarPat, b: &VarPat) -> bool {
+    match (a, b) {
+        (VarPat::Pat(_), _) => true,
+        (VarPat::Concrete(x), VarPat::Concrete(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn proc_subsumes(a: &cobalt_dsl::ProcPat, b: &cobalt_dsl::ProcPat) -> bool {
+    use cobalt_dsl::ProcPat;
+    match (a, b) {
+        (ProcPat::Pat(_), _) => true,
+        (ProcPat::Concrete(x), ProcPat::Concrete(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn idx_subsumes(a: &cobalt_dsl::IdxPat, b: &cobalt_dsl::IdxPat) -> bool {
+    use cobalt_dsl::IdxPat;
+    match (a, b) {
+        (IdxPat::Pat(_), _) => true,
+        (IdxPat::Concrete(x), IdxPat::Concrete(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn const_subsumes(a: &ConstPat, b: &ConstPat) -> bool {
+    match (a, b) {
+        (ConstPat::Pat(_), _) => true,
+        (ConstPat::Concrete(x), ConstPat::Concrete(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn base_subsumes(a: &BasePat, b: &BasePat) -> bool {
+    match (a, b) {
+        (BasePat::Var(x), BasePat::Var(y)) => var_subsumes(x, y),
+        (BasePat::Const(x), BasePat::Const(y)) => const_subsumes(x, y),
+        // A variable position never matches a constant and vice versa.
+        _ => false,
+    }
+}
+
+fn lhs_subsumes(a: &LhsPat, b: &LhsPat) -> bool {
+    match (a, b) {
+        (LhsPat::Any, _) => true,
+        (LhsPat::Var(x), LhsPat::Var(y)) | (LhsPat::Deref(x), LhsPat::Deref(y)) => {
+            var_subsumes(x, y)
+        }
+        _ => false,
+    }
+}
+
+fn expr_subsumes(a: &ExprPat, b: &ExprPat) -> bool {
+    match (a, b) {
+        (ExprPat::Fold(_), _) => false, // never matches anything
+        (ExprPat::Pat(_), _) | (ExprPat::Any, _) => true,
+        (ExprPat::Base(x), ExprPat::Base(y)) => base_subsumes(x, y),
+        (ExprPat::Deref(x), ExprPat::Deref(y)) | (ExprPat::AddrOf(x), ExprPat::AddrOf(y)) => {
+            var_subsumes(x, y)
+        }
+        (ExprPat::Op(k1, a1), ExprPat::Op(k2, a2)) => {
+            k1 == k2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| base_subsumes(x, y))
+        }
+        _ => false,
+    }
+}
+
+/// All label references `(name, arity, part)` in a guard.
+fn label_refs<'g>(
+    g: &'g Guard,
+    part: &'static str,
+    out: &mut Vec<(&'g cobalt_dsl::LabelName, usize, &'static str)>,
+) {
+    match g {
+        Guard::Not(inner) => label_refs(inner, part, out),
+        Guard::And(gs) | Guard::Or(gs) => {
+            for g in gs {
+                label_refs(g, part, out);
+            }
+        }
+        Guard::Label(name, args) => out.push((name, args.len(), part)),
+        Guard::CaseStmt { arms, default } => {
+            for (_, g) in arms {
+                label_refs(g, part, out);
+            }
+            label_refs(default, part, out);
+        }
+        _ => {}
+    }
+}
+
+/// The pieces of a rule or analysis, normalized so one walker serves
+/// both.
+struct RuleParts<'r> {
+    name: &'r str,
+    /// `(part name, guard)` pairs.
+    guards: Vec<(&'static str, &'r Guard)>,
+    from: Option<&'r StmtPat>,
+    to: Option<&'r StmtPat>,
+    witness_vars: BTreeSet<String>,
+    /// Variables used by the analysis's `defines` arguments.
+    defines_vars: BTreeSet<String>,
+}
+
+fn lint_parts(parts: &RuleParts<'_>, ctx: &LintContext<'_>, opts: &RuleLintOptions) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let loc = |part: &str| Location::Rule {
+        rule: parts.name.to_string(),
+        part: part.to_string(),
+    };
+
+    // Collect binding structure. `from` binds by matching; psi1 binds
+    // via the solve discipline; psi2/where only consume bindings.
+    let mut from_vars = BTreeSet::new();
+    if let Some(from) = parts.from {
+        stmt_pat_vars(&mut from_vars, from);
+    }
+    let mut psi1_vars = GuardVars::default();
+    let mut other_vars = GuardVars::default();
+    for (part, g) in &parts.guards {
+        if *part == "psi1" {
+            collect_guard(g, true, false, &mut psi1_vars);
+        } else {
+            collect_guard(g, true, false, &mut other_vars);
+        }
+    }
+
+    let mut bound: BTreeSet<String> = from_vars.clone();
+    bound.extend(psi1_vars.positive_binders.iter().cloned());
+    bound.extend(psi1_vars.uses.iter().cloned());
+    let mut local_only: BTreeSet<String> = BTreeSet::new();
+    for v in psi1_vars
+        .local_binders
+        .iter()
+        .chain(other_vars.local_binders.iter())
+    {
+        if !bound.contains(v) {
+            local_only.insert(v.clone());
+        }
+    }
+
+    // CL001 / CL007: template and witness variables must be bound.
+    let mut template_uses: Vec<(String, &'static str)> = Vec::new();
+    if let Some(to) = parts.to {
+        let mut vs = BTreeSet::new();
+        stmt_pat_vars(&mut vs, to);
+        template_uses.extend(vs.into_iter().map(|v| (v, "to")));
+    }
+    template_uses.extend(parts.witness_vars.iter().map(|v| (v.clone(), "witness")));
+    template_uses.extend(parts.defines_vars.iter().map(|v| (v.clone(), "defines")));
+    for (v, part) in &template_uses {
+        if bound.contains(v) {
+            continue;
+        }
+        if local_only.contains(v) {
+            diags.push(
+                Diagnostic::error(
+                    "CL007",
+                    loc(part),
+                    format!(
+                        "pattern variable `{v}` is only bound under a negation or \
+                         inside a `case` arm, which never contributes bindings"
+                    ),
+                )
+                .with_suggestion(format!(
+                    "bind `{v}` in a positive statement pattern of psi1 or in `from`"
+                )),
+            );
+        } else {
+            diags.push(
+                Diagnostic::error(
+                    "CL001",
+                    loc(part),
+                    format!("unbound pattern variable `{v}`"),
+                )
+                .with_suggestion(format!(
+                    "bind `{v}` in psi1 or `from` before using it in the {part}"
+                )),
+            );
+        }
+    }
+
+    // CL002: a psi1 binder used nowhere else is suspicious — the rule
+    // probably meant to constrain something with it. `from` binders are
+    // exempt (matching a shape and discarding parts of it is normal),
+    // as are `_`-prefixed names.
+    let mut used_elsewhere: BTreeSet<String> = BTreeSet::new();
+    used_elsewhere.extend(psi1_vars.uses.iter().cloned());
+    used_elsewhere.extend(other_vars.uses.iter().cloned());
+    used_elsewhere.extend(other_vars.positive_binders.iter().cloned());
+    used_elsewhere.extend(from_vars.iter().cloned());
+    for (v, _) in &template_uses {
+        used_elsewhere.insert(v.clone());
+    }
+    for v in &psi1_vars.positive_binders {
+        if !v.starts_with('_') && !used_elsewhere.contains(v) {
+            diags.push(
+                Diagnostic::warning(
+                    "CL002",
+                    loc("psi1"),
+                    format!("pattern variable `{v}` is bound in psi1 but never used"),
+                )
+                .with_suggestion(format!("rename to `_{v}` if the binding is intentional")),
+            );
+        }
+    }
+
+    // CL003 / CL004: label references must resolve, with the right arity.
+    let mut refs = Vec::new();
+    for (part, g) in &parts.guards {
+        label_refs(g, part, &mut refs);
+    }
+    for (name, arity, part) in refs {
+        match ctx.env.lookup(name) {
+            Some(def) => {
+                if def.params.len() != arity {
+                    diags.push(Diagnostic::error(
+                        "CL004",
+                        loc(part),
+                        format!(
+                            "label `{name}` expects {} argument(s), got {arity}",
+                            def.params.len()
+                        ),
+                    ));
+                }
+            }
+            None => {
+                if !ctx.semantic.contains(name.as_str()) {
+                    diags.push(
+                        Diagnostic::warning(
+                            "CL003",
+                            loc(part),
+                            format!(
+                                "label `{name}` is neither defined in the label \
+                                 environment nor produced by a known pure analysis"
+                            ),
+                        )
+                        .with_suggestion(
+                            "semantic labels evaluate to false when absent; \
+                             check the spelling or register the analysis",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // CL005: unreachable `case` arms.
+    for (part, g) in &parts.guards {
+        let mut cases = Vec::new();
+        case_stmts(g, &mut cases);
+        for case in cases {
+            if let Guard::CaseStmt { arms, .. } = case {
+                for (j, (pat_j, _)) in arms.iter().enumerate() {
+                    if arms[..j].iter().any(|(pat_i, _)| pat_subsumes(pat_i, pat_j)) {
+                        diags.push(
+                            Diagnostic::warning(
+                                "CL005",
+                                loc(part),
+                                format!(
+                                    "`case` arm {} (`{pat_j:?}`) is unreachable: an \
+                                     earlier arm matches every statement it matches",
+                                    j + 1
+                                ),
+                            )
+                            .with_suggestion("reorder the arms or delete the shadowed one"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // CL006: wildcards in the rewrite template can never instantiate.
+    if let Some(to) = parts.to {
+        if stmt_pat_has_wildcard(to) {
+            diags.push(
+                Diagnostic::error(
+                    "CL006",
+                    loc("to"),
+                    "rewrite template contains a wildcard, which cannot be instantiated",
+                )
+                .with_suggestion("replace `...` with a bound pattern variable"),
+            );
+        }
+    }
+
+    // CL010: `fold(_)` in a match position never matches any statement.
+    if let Some(from) = parts.from {
+        if stmt_pat_has_fold(from) {
+            diags.push(
+                Diagnostic::error(
+                    "CL010",
+                    loc("from"),
+                    "`fold(...)` in the match pattern never matches any statement",
+                )
+                .with_suggestion("`fold` is template-only; match a plain expression variable"),
+            );
+        }
+    }
+    for (part, g) in &parts.guards {
+        if guard_has_fold(g) {
+            diags.push(Diagnostic::error(
+                "CL010",
+                loc(part),
+                "`fold(...)` in a guard statement pattern never matches any statement",
+            ));
+        }
+    }
+
+    // CL008: budgeted propositional-contradiction quick-check.
+    if opts.vacuous_check {
+        for (part, g) in &parts.guards {
+            if vacuous::is_propositionally_vacuous(g, opts.vacuous_deadline) {
+                diags.push(
+                    Diagnostic::warning(
+                        "CL008",
+                        loc(part),
+                        "guard is propositionally unsatisfiable: the rule can never fire",
+                    )
+                    .with_suggestion("the contradiction is boolean-level; simplify the guard"),
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+/// Lints one optimization. Structural problems are errors; stylistic
+/// and heuristic findings are warnings. Never panics under injected
+/// `lint.rule` *fail* faults — those surface as a `CL000` error.
+pub fn lint_optimization(
+    opt: &Optimization,
+    ctx: &LintContext<'_>,
+    opts: &RuleLintOptions,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    if let Err(e) = fault::point_err("lint.rule") {
+        diags.push(Diagnostic::error(
+            "CL000",
+            Location::Rule {
+                rule: opt.name.clone(),
+                part: "lint".into(),
+            },
+            format!("lint aborted: {e}"),
+        ));
+        return diags;
+    }
+
+    let pat = &opt.pattern;
+    let mut guards: Vec<(&'static str, &Guard)> = Vec::new();
+    if let GuardSpec::Region(rg) = &pat.guard {
+        guards.push(("psi1", &rg.psi1));
+        guards.push(("psi2", &rg.psi2));
+    }
+    guards.push(("where", &pat.where_clause));
+
+    let mut wvars = BTreeSet::new();
+    witness_vars(&mut wvars, &pat.witness);
+
+    let parts = RuleParts {
+        name: &opt.name,
+        guards,
+        from: Some(&pat.from),
+        to: Some(&pat.to),
+        witness_vars: wvars,
+        defines_vars: BTreeSet::new(),
+    };
+    diags.absorb(lint_parts(&parts, ctx, opts));
+
+    // CL009: the witness family must match the rule's direction.
+    let mismatch = match (pat.direction, &pat.witness) {
+        (Direction::Forward, Witness::Backward(_)) => Some("forward rule with a backward witness"),
+        (Direction::Backward, Witness::Forward(_)) => Some("backward rule with a forward witness"),
+        _ => None,
+    };
+    if let Some(msg) = mismatch {
+        diags.push(
+            Diagnostic::error(
+                "CL009",
+                Location::Rule {
+                    rule: opt.name.clone(),
+                    part: "witness".into(),
+                },
+                msg,
+            )
+            .with_suggestion("forward rules witness over η, backward rules over (η_old, η_new)"),
+        );
+    }
+
+    diags
+}
+
+/// Lints one pure analysis (forward-only; `defines` arguments must be
+/// bound by `ψ1`).
+pub fn lint_analysis(
+    analysis: &PureAnalysis,
+    ctx: &LintContext<'_>,
+    opts: &RuleLintOptions,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    if let Err(e) = fault::point_err("lint.rule") {
+        diags.push(Diagnostic::error(
+            "CL000",
+            Location::Rule {
+                rule: analysis.name.clone(),
+                part: "lint".into(),
+            },
+            format!("lint aborted: {e}"),
+        ));
+        return diags;
+    }
+
+    let mut wvars = BTreeSet::new();
+    forward_witness_vars(&mut wvars, &analysis.witness);
+    let mut dvars = BTreeSet::new();
+    for a in &analysis.defines.1 {
+        let mut vs = Vec::new();
+        a.pattern_vars(&mut vs);
+        for (p, _k) in vs {
+            dvars.insert(p.as_str().to_string());
+        }
+        if let LabelArgPat::Expr(e) = a {
+            expr_pat(&mut dvars, e);
+        }
+    }
+
+    let parts = RuleParts {
+        name: &analysis.name,
+        guards: vec![("psi1", &analysis.guard.psi1), ("psi2", &analysis.guard.psi2)],
+        from: None,
+        to: None,
+        witness_vars: wvars,
+        defines_vars: dvars,
+    };
+    diags.absorb(lint_parts(&parts, ctx, opts));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobalt_dsl::{
+        Guard, GuardSpec, LabelArgPat, Optimization, RegionGuard, TransformPattern,
+        VarPat, Witness,
+    };
+    use cobalt_dsl::{ForwardWitness, StmtPat};
+    use std::time::Duration;
+
+    fn env() -> LabelEnv {
+        LabelEnv::standard()
+    }
+
+    fn opts() -> RuleLintOptions {
+        RuleLintOptions::structural()
+    }
+
+    fn forward_rule(
+        psi1: Guard,
+        psi2: Guard,
+        from: StmtPat,
+        to: StmtPat,
+        witness: Witness,
+    ) -> Optimization {
+        Optimization::new(
+            "test_rule",
+            TransformPattern {
+                direction: Direction::Forward,
+                guard: GuardSpec::Region(RegionGuard { psi1, psi2 }),
+                from,
+                to,
+                where_clause: Guard::True,
+                witness,
+            },
+        )
+    }
+
+    fn codes(diags: &Diagnostics) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn cl001_unbound_template_variable() {
+        // `to` uses `C`, which nothing binds.
+        let rule = forward_rule(
+            Guard::True,
+            Guard::True,
+            StmtPat::assign_pats("X", "E"),
+            StmtPat::Assign(
+                LhsPat::Var(VarPat::pat("X")),
+                ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+            ),
+            Witness::Forward(ForwardWitness::True),
+        );
+        let e = env();
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        assert!(codes(&diags).contains(&"CL001"), "{}", diags.render_human());
+    }
+
+    #[test]
+    fn cl001_unbound_witness_variable() {
+        let rule = forward_rule(
+            Guard::True,
+            Guard::True,
+            StmtPat::assign_pats("X", "E"),
+            StmtPat::Skip,
+            Witness::Forward(ForwardWitness::VarEqVar(VarPat::pat("X"), VarPat::pat("Z"))),
+        );
+        let e = env();
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        let unbound: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == "CL001")
+            .map(|d| d.message.clone())
+            .collect();
+        assert_eq!(unbound.len(), 1, "{}", diags.render_human());
+        assert!(unbound[0].contains("`Z`"), "{unbound:?}");
+    }
+
+    #[test]
+    fn cl002_unused_psi1_binder_warns_and_underscore_exempts() {
+        let psi1 = Guard::Stmt(StmtPat::assign_pats("Y", "D"));
+        let rule = forward_rule(
+            psi1,
+            Guard::True,
+            StmtPat::assign_pats("X", "E"),
+            StmtPat::Skip,
+            Witness::Forward(ForwardWitness::True),
+        );
+        let e = env();
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        let cl002 = diags.iter().filter(|d| d.code == "CL002").count();
+        assert_eq!(cl002, 2, "Y and D both unused: {}", diags.render_human());
+
+        let psi1 = Guard::Stmt(StmtPat::assign_pats("_Y", "_D"));
+        let rule = forward_rule(
+            psi1,
+            Guard::True,
+            StmtPat::assign_pats("X", "E"),
+            StmtPat::Skip,
+            Witness::Forward(ForwardWitness::True),
+        );
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        assert!(!codes(&diags).contains(&"CL002"), "{}", diags.render_human());
+    }
+
+    #[test]
+    fn cl003_unknown_label_and_semantic_labels_exempt() {
+        let psi1 = Guard::Label("mayDfe".into(), vec![LabelArgPat::Var(VarPat::pat("X"))]);
+        let rule = forward_rule(
+            psi1,
+            Guard::True,
+            StmtPat::assign_pats("X", "E"),
+            StmtPat::Skip,
+            Witness::Forward(ForwardWitness::True),
+        );
+        let e = env();
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        assert!(codes(&diags).contains(&"CL003"), "{}", diags.render_human());
+
+        // notTainted is a known semantic label; an analysis-defined
+        // label becomes known through the context.
+        let psi1 = Guard::And(vec![
+            Guard::Label("notTainted".into(), vec![LabelArgPat::Var(VarPat::pat("X"))]),
+            Guard::Label("myFacts".into(), vec![LabelArgPat::Var(VarPat::pat("X"))]),
+        ]);
+        let rule = forward_rule(
+            psi1,
+            Guard::True,
+            StmtPat::assign_pats("X", "E"),
+            StmtPat::Skip,
+            Witness::Forward(ForwardWitness::True),
+        );
+        let analysis = PureAnalysis {
+            name: "mine".into(),
+            guard: RegionGuard {
+                psi1: Guard::Stmt(StmtPat::Decl(VarPat::pat("X"))),
+                psi2: Guard::True,
+            },
+            defines: ("myFacts".into(), vec![LabelArgPat::Var(VarPat::pat("X"))]),
+            witness: ForwardWitness::True,
+        };
+        let ctx = LintContext::new(&e).with_analyses(std::slice::from_ref(&analysis));
+        let diags = lint_optimization(&rule, &ctx, &opts());
+        assert!(!codes(&diags).contains(&"CL003"), "{}", diags.render_human());
+    }
+
+    #[test]
+    fn cl004_label_arity_mismatch() {
+        let psi1 = Guard::Label(
+            "mayDef".into(),
+            vec![
+                LabelArgPat::Var(VarPat::pat("X")),
+                LabelArgPat::Var(VarPat::pat("X")),
+            ],
+        );
+        let rule = forward_rule(
+            psi1,
+            Guard::True,
+            StmtPat::assign_pats("X", "E"),
+            StmtPat::Skip,
+            Witness::Forward(ForwardWitness::True),
+        );
+        let e = env();
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        assert!(codes(&diags).contains(&"CL004"), "{}", diags.render_human());
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn cl005_unreachable_case_arm() {
+        let case = Guard::CaseStmt {
+            arms: vec![
+                (StmtPat::Any, Guard::True),
+                (StmtPat::Skip, Guard::False), // shadowed by Any
+            ],
+            default: Box::new(Guard::False),
+        };
+        let rule = forward_rule(
+            case,
+            Guard::True,
+            StmtPat::assign_pats("X", "E"),
+            StmtPat::Skip,
+            Witness::Forward(ForwardWitness::True),
+        );
+        let e = env();
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        assert!(codes(&diags).contains(&"CL005"), "{}", diags.render_human());
+    }
+
+    #[test]
+    fn cl005_not_fooled_by_nonlinear_patterns() {
+        // `X := X` (nonlinear) does not subsume `Y := Z`.
+        let nonlinear = StmtPat::Assign(
+            LhsPat::Var(VarPat::pat("X")),
+            ExprPat::Base(BasePat::Var(VarPat::pat("X"))),
+        );
+        let general = StmtPat::assign_pats("Y", "Z");
+        assert!(!pat_subsumes(&nonlinear, &general));
+        assert!(pat_subsumes(&general, &nonlinear));
+    }
+
+    #[test]
+    fn cl006_wildcard_in_template() {
+        let rule = forward_rule(
+            Guard::True,
+            Guard::True,
+            StmtPat::assign_pats("X", "E"),
+            StmtPat::Assign(LhsPat::Var(VarPat::pat("X")), ExprPat::Any),
+            Witness::Forward(ForwardWitness::True),
+        );
+        let e = env();
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        assert!(codes(&diags).contains(&"CL006"), "{}", diags.render_human());
+    }
+
+    #[test]
+    fn cl007_negation_local_binding_leaks_into_template() {
+        // psi1 only mentions D under a negation: matching `¬stmt(D := E)`
+        // never binds D, so the template can never instantiate.
+        let psi1 = Guard::Not(Box::new(Guard::Stmt(StmtPat::assign_pats("D", "E2"))));
+        let rule = forward_rule(
+            psi1,
+            Guard::True,
+            StmtPat::Skip,
+            StmtPat::Assign(
+                LhsPat::Var(VarPat::pat("D")),
+                ExprPat::Base(BasePat::Const(ConstPat::Concrete(0))),
+            ),
+            Witness::Forward(ForwardWitness::True),
+        );
+        let e = env();
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        assert!(codes(&diags).contains(&"CL007"), "{}", diags.render_human());
+    }
+
+    #[test]
+    fn cl009_direction_witness_mismatch() {
+        let rule = Optimization::new(
+            "mismatched",
+            TransformPattern {
+                direction: Direction::Forward,
+                guard: GuardSpec::Local,
+                from: StmtPat::assign_pats("X", "E"),
+                to: StmtPat::Skip,
+                where_clause: Guard::True,
+                witness: Witness::Backward(BackwardWitness::Identical),
+            },
+        );
+        let e = env();
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        assert!(codes(&diags).contains(&"CL009"), "{}", diags.render_human());
+    }
+
+    #[test]
+    fn cl010_fold_in_match_position() {
+        let rule = forward_rule(
+            Guard::True,
+            Guard::True,
+            StmtPat::Assign(LhsPat::Var(VarPat::pat("X")), ExprPat::Fold("E".into())),
+            StmtPat::Skip,
+            Witness::Forward(ForwardWitness::True),
+        );
+        let e = env();
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        assert!(codes(&diags).contains(&"CL010"), "{}", diags.render_human());
+    }
+
+    #[test]
+    fn cl008_vacuous_guard_found_with_budget() {
+        let atom = Guard::Stmt(StmtPat::Skip);
+        let psi1 = Guard::And(vec![atom.clone(), Guard::Not(Box::new(atom))]);
+        let rule = forward_rule(
+            psi1,
+            Guard::True,
+            StmtPat::assign_pats("X", "E"),
+            StmtPat::Skip,
+            Witness::Forward(ForwardWitness::True),
+        );
+        let e = env();
+        let lint_opts = RuleLintOptions {
+            vacuous_check: true,
+            vacuous_deadline: Duration::from_millis(200),
+        };
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &lint_opts);
+        assert!(codes(&diags).contains(&"CL008"), "{}", diags.render_human());
+
+        // The structural gate skips the solver entirely.
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        assert!(!codes(&diags).contains(&"CL008"));
+    }
+
+    #[test]
+    fn cl000_injected_fault_becomes_diagnostic() {
+        let rule = forward_rule(
+            Guard::True,
+            Guard::True,
+            StmtPat::assign_pats("X", "E"),
+            StmtPat::Skip,
+            Witness::Forward(ForwardWitness::True),
+        );
+        let e = env();
+        let diags = cobalt_support::fault::with_faults("lint.rule:fail@1", || {
+            lint_optimization(&rule, &LintContext::new(&e), &opts())
+        });
+        assert!(codes(&diags).contains(&"CL000"), "{}", diags.render_human());
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn pre_duplicate_style_psi1_bindings_flow_to_template() {
+        // A backward rule whose `from` is Skip and whose template
+        // variables come entirely from psi1 must be clean (this is the
+        // shipped `pre_duplicate` shape).
+        let psi1 = Guard::Stmt(StmtPat::assign_pats("X", "E"));
+        let rule = Optimization::new(
+            "pre_dup_shape",
+            TransformPattern {
+                direction: Direction::Backward,
+                guard: GuardSpec::Region(RegionGuard {
+                    psi1,
+                    psi2: Guard::True,
+                }),
+                from: StmtPat::Skip,
+                to: StmtPat::assign_pats("X", "E"),
+                where_clause: Guard::True,
+                witness: Witness::Backward(BackwardWitness::Identical),
+            },
+        );
+        let e = env();
+        let diags = lint_optimization(&rule, &LintContext::new(&e), &opts());
+        assert!(diags.is_empty(), "{}", diags.render_human());
+    }
+
+    #[test]
+    fn analysis_defines_vars_must_be_bound() {
+        let analysis = PureAnalysis {
+            name: "broken_analysis".into(),
+            guard: RegionGuard {
+                psi1: Guard::Stmt(StmtPat::Decl(VarPat::pat("X"))),
+                psi2: Guard::True,
+            },
+            defines: ("facts".into(), vec![LabelArgPat::Var(VarPat::pat("Q"))]),
+            witness: ForwardWitness::True,
+        };
+        let e = env();
+        let diags = lint_analysis(&analysis, &LintContext::new(&e), &opts());
+        assert!(codes(&diags).contains(&"CL001"), "{}", diags.render_human());
+    }
+}

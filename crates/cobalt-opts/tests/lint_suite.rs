@@ -1,0 +1,84 @@
+//! Every rule the crate ships — sound or deliberately buggy — must be
+//! lint-clean. This pins down the division of labor (DESIGN.md §9):
+//! the linter rejects *structural* defects (unbound variables, unknown
+//! labels, wildcard templates); the §6 buggy variants carry *semantic*
+//! bugs, which only the prover can catch, so they lint clean too. A
+//! buggy variant that trips the linter would mean the regression it
+//! guards (the prover rejecting it) is being masked by a cheaper check.
+
+use cobalt_dsl::LabelEnv;
+use cobalt_lint::{lint_analysis, lint_optimization, LintContext, RuleLintOptions};
+
+fn ctx_parts() -> (LabelEnv, Vec<cobalt_dsl::PureAnalysis>) {
+    (LabelEnv::standard(), cobalt_opts::all_analyses())
+}
+
+#[test]
+fn every_shipped_analysis_is_lint_clean() {
+    let (env, analyses) = ctx_parts();
+    let ctx = LintContext::new(&env).with_analyses(&analyses);
+    let opts = RuleLintOptions::default();
+    for a in &analyses {
+        let diags = lint_analysis(a, &ctx, &opts);
+        assert!(
+            diags.is_empty(),
+            "analysis `{}` is not lint-clean:\n{}",
+            a.name,
+            diags.render_human()
+        );
+    }
+}
+
+#[test]
+fn every_sound_optimization_is_lint_clean() {
+    let (env, analyses) = ctx_parts();
+    let ctx = LintContext::new(&env).with_analyses(&analyses);
+    let opts = RuleLintOptions::default();
+    for o in cobalt_opts::all_optimizations() {
+        let diags = lint_optimization(&o, &ctx, &opts);
+        assert!(
+            diags.is_empty(),
+            "optimization `{}` is not lint-clean:\n{}",
+            o.name,
+            diags.render_human()
+        );
+    }
+}
+
+#[test]
+fn buggy_variants_lint_clean_because_their_bugs_are_semantic() {
+    let (env, analyses) = ctx_parts();
+    let ctx = LintContext::new(&env).with_analyses(&analyses);
+    let opts = RuleLintOptions::default();
+    for o in cobalt_opts::buggy_optimizations() {
+        let diags = lint_optimization(&o, &ctx, &opts);
+        assert!(
+            diags.is_empty(),
+            "buggy variant `{}` tripped the linter — its bug must stay \
+             the prover's to catch:\n{}",
+            o.name,
+            diags.render_human()
+        );
+    }
+}
+
+#[test]
+fn default_and_pre_pipelines_are_drawn_from_linted_rules() {
+    // The pipelines are subsets of the registry, so they inherit
+    // cleanliness; this guards against a pipeline-only rule sneaking in
+    // unlinted.
+    let names: Vec<String> = cobalt_opts::all_optimizations()
+        .iter()
+        .map(|o| o.name.to_string())
+        .collect();
+    for o in cobalt_opts::default_pipeline()
+        .iter()
+        .chain(cobalt_opts::pre_pipeline().iter())
+    {
+        assert!(
+            names.iter().any(|n| *n == o.name),
+            "pipeline rule `{}` is not in the linted registry",
+            o.name
+        );
+    }
+}

@@ -234,8 +234,45 @@ impl Verifier {
     /// Returns [`VerifyError`] if the optimization cannot be encoded at
     /// all; failed *proofs* are reported in the [`Report`].
     pub fn verify_optimization(&self, opt: &Optimization) -> Result<Report, VerifyError> {
+        self.lint_gate(&opt.name, |ctx, opts| {
+            cobalt_lint::lint_optimization(opt, ctx, opts)
+        })?;
         let prepared = obligations_for_optimization(opt, &self.env, &self.meanings)?;
         Ok(self.run(opt.name.clone(), prepared))
+    }
+
+    /// The fast pre-verification gate (DESIGN.md §9): structural lints
+    /// only — no solver, microseconds per rule — so a malformed rule is
+    /// rejected with named diagnostics before any obligation is even
+    /// constructed, let alone sent to the prover. A panic inside the
+    /// linter (e.g. an injected `lint.rule` fault) is isolated into a
+    /// `CL000` diagnostic rather than unwinding through the checker.
+    fn lint_gate(
+        &self,
+        name: &str,
+        lint: impl FnOnce(&cobalt_lint::LintContext<'_>, &cobalt_lint::RuleLintOptions) -> cobalt_lint::Diagnostics,
+    ) -> Result<(), VerifyError> {
+        let ctx = cobalt_lint::LintContext::new(&self.env);
+        let opts = cobalt_lint::RuleLintOptions::structural();
+        let diags = match catch_unwind(AssertUnwindSafe(|| lint(&ctx, &opts))) {
+            Ok(diags) => diags,
+            Err(payload) => {
+                let mut diags = cobalt_lint::Diagnostics::new();
+                diags.push(cobalt_lint::Diagnostic::error(
+                    "CL000",
+                    cobalt_lint::Location::Rule {
+                        rule: name.to_string(),
+                        part: "lint".into(),
+                    },
+                    format!("lint panicked: {}", panic_message(&*payload)),
+                ));
+                diags
+            }
+        };
+        if diags.has_errors() {
+            return Err(VerifyError::Lint(diags));
+        }
+        Ok(())
     }
 
     /// Attempts to prove a pure analysis sound, i.e. that its label
@@ -245,6 +282,9 @@ impl Verifier {
     ///
     /// Returns [`VerifyError`] if the analysis cannot be encoded.
     pub fn verify_analysis(&self, analysis: &PureAnalysis) -> Result<Report, VerifyError> {
+        self.lint_gate(&analysis.name, |ctx, opts| {
+            cobalt_lint::lint_analysis(analysis, ctx, opts)
+        })?;
         let prepared = obligations_for_analysis(analysis, &self.env, &self.meanings)?;
         Ok(self.run(analysis.name.clone(), prepared))
     }

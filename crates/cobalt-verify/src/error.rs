@@ -1,5 +1,6 @@
 //! Error type for the soundness checker.
 
+use cobalt_lint::Diagnostics;
 use std::error::Error;
 use std::fmt;
 
@@ -22,6 +23,10 @@ pub enum VerifyError {
     },
     /// The optimization uses a construct the checker cannot encode.
     Unsupported(String),
+    /// The rule was rejected by the pre-verification lint gate before
+    /// any obligation reached the prover; the diagnostics name exactly
+    /// what is malformed (DESIGN.md §9).
+    Lint(Diagnostics),
 }
 
 impl fmt::Display for VerifyError {
@@ -32,6 +37,19 @@ impl fmt::Display for VerifyError {
                 "pattern variable `{var}` is used both as a {first} and as a {second}"
             ),
             VerifyError::Unsupported(msg) => write!(f, "unsupported construct: {msg}"),
+            VerifyError::Lint(diags) => {
+                let codes: Vec<&str> = diags
+                    .iter()
+                    .filter(|d| d.severity == cobalt_lint::Severity::Error)
+                    .map(|d| d.code)
+                    .collect();
+                write!(
+                    f,
+                    "rejected by lint before proving: {} error(s) [{}]",
+                    diags.error_count(),
+                    codes.join(", ")
+                )
+            }
         }
     }
 }

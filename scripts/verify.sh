@@ -55,6 +55,47 @@ if ! grep -q "degraded" <<<"$out"; then
     echo "robustness: resilient optimize did not report degradation:"; echo "$out"; exit 1
 fi
 
+echo "== lint stage"
+
+# The built-in registry and every example program must be lint-clean.
+"$COBALT" lint >/dev/null
+"$COBALT" lint examples/programs/*.il >/dev/null
+
+# Exit-code contract: a structurally broken program must exit 4, and
+# the JSON report must be one object per line on stdout.
+bad_il=$(mktemp /tmp/cobalt_lint_bad_XXXXXX.il)
+printf 'proc main(x) { if x goto 9 else 1; return x; }\n' >"$bad_il"
+set +e
+"$COBALT" lint "$bad_il" >/dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 4 ]]; then
+    echo "lint: broken program exited $code (want 4)"; rm -f "$bad_il"; exit 1
+fi
+set +e
+json=$("$COBALT" lint "$bad_il" --json 2>/dev/null)
+code=$?
+set -e
+rm -f "$bad_il"
+if [[ $code -ne 4 ]]; then
+    echo "lint: --json on broken program exited $code (want 4)"; exit 1
+fi
+while IFS= read -r line; do
+    case "$line" in
+        '{"code":"'*'}') ;;
+        *) echo "lint: not a JSON object line: $line"; exit 1 ;;
+    esac
+done <<<"$json"
+
+# An injected lint fault must surface as CL000 and fail the run.
+set +e
+COBALT_FAULTS=lint.rule:fail@1 "$COBALT" lint >/dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 4 ]]; then
+    echo "lint: fault-injected lint exited $code (want 4)"; exit 1
+fi
+
 if [[ "${1:-}" == "--benches" ]]; then
     for bench in proof_times engine_scaling tv_vs_proof prover_ablation; do
         echo "== cargo bench --bench ${bench} (fast mode)"

@@ -5,6 +5,7 @@
 //! cobalt run <prog.il> [--arg N]
 //! cobalt optimize <prog.il> [--passes a,b,…|all] [--rounds N] [--recursive-dae] [--resilient]
 //! cobalt verify [<suite.cob>] [--include-buggy] [--timeout SECS] [--max-splits N]
+//! cobalt lint [<file.il|file.cob>…] [--json] [--deny warn]
 //! cobalt validate <orig.il> <new.il>
 //! cobalt hunt <name|suite.cob> [--tries N]
 //! ```
@@ -12,6 +13,9 @@
 //! `verify` exit codes: 0 all proved; 2 an obligation genuinely failed
 //! (unsound); 3 failures were resource limits only (inconclusive);
 //! 1 anything else.
+//!
+//! `lint` exit codes: 0 clean; 4 lint errors (or warnings under
+//! `--deny warn`); 1 anything else (unreadable file, parse error).
 
 use cobalt::dsl::{LabelEnv, Optimization, PureAnalysis};
 use cobalt::engine::Engine;
@@ -26,12 +30,18 @@ const EXIT_UNSOUND: u8 = 2;
 /// Exit code for `verify` when every failure was a resource limit
 /// (deadline, split/term/round cap) — inconclusive, not unsound.
 const EXIT_RESOURCE_LIMITED: u8 = 3;
+/// Exit code for `lint` when diagnostics fail the run (errors, or
+/// warnings under `--deny warn`).
+const EXIT_LINT: u8 = 4;
 
 /// A CLI failure carrying its process exit code.
 #[derive(Debug)]
 struct CliError {
     code: u8,
     msg: String,
+    /// Report text that belongs on stdout even on failure (e.g. lint
+    /// diagnostics, which downstream tools parse as JSON lines).
+    out: Option<String>,
 }
 
 impl CliError {
@@ -39,6 +49,7 @@ impl CliError {
         CliError {
             code: 1,
             msg: msg.into(),
+            out: None,
         }
     }
 }
@@ -57,6 +68,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
+            if let Some(out) = &e.out {
+                print!("{out}");
+            }
             eprintln!("cobalt: {}", e.msg);
             ExitCode::from(e.code)
         }
@@ -75,6 +89,13 @@ const USAGE: &str = "usage:
       --timeout bounds wall-clock per report; --max-splits caps case
       splits per proof attempt. exit codes: 0 all proved, 2 unsound,
       3 resource-limited (inconclusive), 1 other errors
+  cobalt lint [<file.il|file.cob>…] [--json] [--deny warn]
+      static analysis: named diagnostics (CL0xx for rules, IL0xx for
+      programs) without invoking the prover. with no files, lints the
+      whole built-in registry (including the buggy variants — their
+      bugs are semantic, the prover's job). --json emits one JSON
+      object per line; --deny warn makes warnings failing. exit codes:
+      0 clean, 4 lint errors, 1 other errors
   cobalt trace <prog.il> [--arg N]
       interpret main(N) printing every executed statement
   cobalt validate <orig.il> <new.il>
@@ -92,6 +113,7 @@ fn run_cli(args: &[String]) -> Result<String, CliError> {
         Some("trace") => cmd_trace(&args[1..]).map_err(CliError::general),
         Some("optimize") => cmd_optimize(&args[1..]).map_err(CliError::general),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]).map_err(CliError::general),
         Some("hunt") => cmd_hunt(&args[1..]).map_err(CliError::general),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
@@ -124,6 +146,7 @@ fn positional(args: &[String]) -> Vec<&str> {
             skip = matches!(
                 a.as_str(),
                 "--arg" | "--passes" | "--rounds" | "--tries" | "--timeout" | "--max-splits"
+                    | "--deny"
             ) && i + 1 < args.len();
             continue;
         }
@@ -337,14 +360,88 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
         Err(CliError {
             code: EXIT_UNSOUND,
             msg: format!("{out}some obligations failed"),
+            out: None,
         })
     } else if limited {
         Err(CliError {
             code: EXIT_RESOURCE_LIMITED,
             msg: format!("{out}proving hit resource limits (inconclusive, not unsound)"),
+            out: None,
         })
     } else {
         out.push_str("all optimizations proved sound\n");
+        Ok(out)
+    }
+}
+
+fn cmd_lint(args: &[String]) -> Result<String, CliError> {
+    use cobalt::lint::{
+        lint_analysis, lint_optimization, lint_program, Diagnostics, LintContext, RuleLintOptions,
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let deny_warnings = match flag_value(args, "--deny") {
+        None => false,
+        Some("warn") => true,
+        Some(other) => {
+            return Err(CliError::general(format!(
+                "--deny: expected `warn`, got `{other}`"
+            )))
+        }
+    };
+    let env = LabelEnv::standard();
+    let lint_opts = RuleLintOptions::default();
+    let mut diags = Diagnostics::new();
+    let pos = positional(args);
+    if pos.is_empty() {
+        // Lint the whole built-in registry. The buggy §6 variants are
+        // included deliberately: they must be structurally clean — the
+        // bug each one carries is semantic, which is the prover's job
+        // (DESIGN.md §9).
+        let analyses = cobalt::opts::all_analyses();
+        let ctx = LintContext::new(&env).with_analyses(&analyses);
+        for a in &analyses {
+            diags.absorb(lint_analysis(a, &ctx, &lint_opts));
+        }
+        for o in cobalt::opts::all_optimizations()
+            .iter()
+            .chain(cobalt::opts::buggy_optimizations().iter())
+        {
+            diags.absorb(lint_optimization(o, &ctx, &lint_opts));
+        }
+    } else {
+        for path in pos {
+            if path.ends_with(".cob") {
+                let suite =
+                    cobalt::dsl::parse_suite(&read(path)?).map_err(|e| e.to_string())?;
+                let ctx = LintContext::new(&env).with_analyses(&suite.analyses);
+                for a in &suite.analyses {
+                    diags.absorb(lint_analysis(a, &ctx, &lint_opts));
+                }
+                for o in &suite.optimizations {
+                    diags.absorb(lint_optimization(o, &ctx, &lint_opts));
+                }
+            } else {
+                let prog = parse_program(&read(path)?).map_err(|e| e.to_string())?;
+                lint_program(&prog, &mut diags);
+            }
+        }
+    }
+    let out = if json {
+        diags.json_lines()
+    } else {
+        diags.render_human()
+    };
+    if diags.is_failing(deny_warnings) {
+        Err(CliError {
+            code: EXIT_LINT,
+            msg: format!(
+                "lint failed: {} error(s), {} warning(s)",
+                diags.error_count(),
+                diags.warning_count()
+            ),
+            out: Some(out),
+        })
+    } else {
         Ok(out)
     }
 }
@@ -421,7 +518,9 @@ mod tests {
     use super::*;
 
     fn write_tmp(name: &str, contents: &str) -> String {
-        let path = std::env::temp_dir().join(format!("cobalt_cli_{name}_{}", std::process::id()));
+        // Keep `name` (and so its extension) last: `cobalt lint`
+        // dispatches on the file extension.
+        let path = std::env::temp_dir().join(format!("cobalt_cli_{}_{name}", std::process::id()));
         std::fs::write(&path, contents).unwrap();
         path.to_string_lossy().into_owned()
     }
@@ -524,6 +623,88 @@ mod tests {
             policy.report_deadline,
             Some(std::time::Duration::from_millis(1500))
         );
+    }
+
+    #[test]
+    fn lint_builtin_registry_is_clean() {
+        let out = run_cli(&["lint".into()]).unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_flags_il_defects_with_exit_4() {
+        // Branch target 9 is out of range: IL001, an error.
+        let p = write_tmp(
+            "lint_bad.il",
+            "proc main(x) { if x goto 9 else 1; return x; }",
+        );
+        let err = run_cli(&["lint".into(), p.clone()]).unwrap_err();
+        assert_eq!(err.code, EXIT_LINT);
+        assert!(err.out.as_deref().unwrap_or("").contains("IL001"), "{err:?}");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn lint_deny_warn_promotes_warnings() {
+        // Statements after the first return are unreachable: IL003,
+        // a warning — passing by default, failing under --deny warn.
+        let p = write_tmp(
+            "lint_warn.il",
+            "proc main(x) { return x; skip; return x; }",
+        );
+        let ok = run_cli(&["lint".into(), p.clone()]).unwrap();
+        assert!(ok.contains("IL003"), "{ok}");
+        let err = run_cli(&["lint".into(), p.clone(), "--deny".into(), "warn".into()])
+            .unwrap_err();
+        assert_eq!(err.code, EXIT_LINT, "{}", err.msg);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn lint_json_emits_one_object_per_line() {
+        let p = write_tmp(
+            "lint_json.il",
+            "proc main(x) { if x goto 9 else 1; return x; }",
+        );
+        let err = run_cli(&["lint".into(), p.clone(), "--json".into()]).unwrap_err();
+        let out = err.out.expect("json report on stdout");
+        assert!(!out.is_empty());
+        for line in out.lines() {
+            assert!(
+                line.starts_with("{\"code\":\"") && line.ends_with('}'),
+                "not a JSON object line: {line}"
+            );
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn lint_rejects_lint_suite_rules_and_bad_deny_value() {
+        // A suite rule whose template uses an unbound constant: CL001.
+        let p = write_tmp(
+            "lint_suite.cob",
+            "forward broken {
+                stmt(Y := D) followed by !mayDef(Y)
+                until X := Y => X := C
+                with witness eta(Y) == C
+            }",
+        );
+        let err = run_cli(&["lint".into(), p.clone()]).unwrap_err();
+        assert_eq!(err.code, EXIT_LINT, "{}", err.msg);
+        assert!(err.out.as_deref().unwrap_or("").contains("CL001"), "{err:?}");
+        std::fs::remove_file(p).ok();
+        let bad = run_cli(&["lint".into(), "--deny".into(), "error".into()]).unwrap_err();
+        assert_eq!(bad.code, 1);
+    }
+
+    #[test]
+    fn lint_fault_point_fails_the_run() {
+        let err = cobalt_support::fault::with_faults("lint.rule:fail@1", || {
+            run_cli(&["lint".into()])
+        })
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_LINT, "{}", err.msg);
+        assert!(err.out.as_deref().unwrap_or("").contains("CL000"), "{err:?}");
     }
 
     #[test]

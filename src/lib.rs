@@ -25,6 +25,7 @@
 //! | [`engine`] | `cobalt-engine` | the optimization execution engine (§5.2) |
 //! | [`verify`] | `cobalt-verify` | the soundness checker (§4, §5.1) |
 //! | [`opts`] | `cobalt-opts` | the optimization suite (§2, §6) |
+//! | [`lint`] | `cobalt-lint` | static analysis: rule and IL linters gating the prover |
 //! | [`tv`] | `cobalt-tv` | the translation-validation baseline (§1, §8) |
 //!
 //! # Quickstart
@@ -62,6 +63,7 @@ pub mod synth;
 pub use cobalt_dsl as dsl;
 pub use cobalt_engine as engine;
 pub use cobalt_il as il;
+pub use cobalt_lint as lint;
 pub use cobalt_logic as logic;
 pub use cobalt_opts as opts;
 pub use cobalt_tv as tv;

@@ -1,0 +1,103 @@
+//! Lint fixtures are first-class IL programs: each one must survive a
+//! parse → pretty → re-parse round trip unchanged, and the diagnostics
+//! the linter emits for them must serialize as valid JSON lines (the
+//! `--json` contract downstream tools rely on).
+
+use cobalt::il::{parse_program, pretty_program};
+use cobalt::lint::{lint_program, Diagnostic, Diagnostics, Location};
+
+/// The lint-fixture programs and the diagnostic each one exists to
+/// trigger.
+const FIXTURES: &[(&str, &str, &str)] = &[
+    (
+        "dangling_goto",
+        "proc main(x) { if x goto 9 else 1; return x; }",
+        "IL001",
+    ),
+    (
+        "unreachable_stmt",
+        "proc main(x) { return x; skip; return x; }",
+        "IL003",
+    ),
+    (
+        "use_before_def",
+        "proc main(x) { y := q + 1; return y; }",
+        "IL004",
+    ),
+    (
+        "addr_taken_never_deref",
+        "proc main(x) { decl p; decl y; p := &y; return x; }",
+        "IL005",
+    ),
+];
+
+fn lint(src: &str) -> Diagnostics {
+    let prog = parse_program(src).expect("fixture must parse");
+    let mut diags = Diagnostics::new();
+    lint_program(&prog, &mut diags);
+    diags
+}
+
+#[test]
+fn fixtures_round_trip_through_the_pretty_printer() {
+    for (name, src, _) in FIXTURES {
+        let first = parse_program(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let pretty = pretty_program(&first);
+        let second = parse_program(&pretty)
+            .unwrap_or_else(|e| panic!("{name}: pretty output failed to re-parse: {e}\n{pretty}"));
+        assert_eq!(first, second, "{name}: round trip changed the AST");
+        assert_eq!(
+            pretty,
+            pretty_program(&second),
+            "{name}: pretty printing is not idempotent"
+        );
+    }
+}
+
+#[test]
+fn fixtures_trigger_their_advertised_diagnostics() {
+    for (name, src, code) in FIXTURES {
+        let diags = lint(src);
+        assert!(
+            diags.iter().any(|d| d.code == *code),
+            "{name}: expected {code}, got:\n{}",
+            diags.render_human()
+        );
+    }
+}
+
+#[test]
+fn fixture_diagnostics_serialize_as_json_lines() {
+    for (name, src, _) in FIXTURES {
+        let out = lint(src).json_lines();
+        assert!(!out.is_empty(), "{name}: no diagnostics to serialize");
+        for line in out.lines() {
+            assert!(
+                line.starts_with("{\"code\":\"IL") && line.ends_with('}'),
+                "{name}: not a JSON object line: {line}"
+            );
+            for field in ["\"severity\":\"", "\"proc\":\"", "\"message\":\""] {
+                assert!(line.contains(field), "{name}: missing {field}: {line}");
+            }
+            assert!(
+                !line.chars().any(|c| c.is_control()),
+                "{name}: raw control character in JSON line: {line:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn json_escaping_handles_quotes_backslashes_and_newlines() {
+    let d = Diagnostic::warning(
+        "IL999",
+        Location::Il {
+            proc: "main".into(),
+            index: Some(0),
+        },
+        "a \"quoted\" \\path\\ and\na newline",
+    );
+    let line = d.json();
+    assert!(line.contains(r#"a \"quoted\" \\path\\ and\na newline"#), "{line}");
+    assert!(!line.chars().any(|c| c.is_control()), "{line}");
+}

@@ -43,6 +43,31 @@ fn tutorial_optimization_runs() {
 }
 
 #[test]
+fn tutorial_typo_variant_is_rejected_by_lint_before_proving() {
+    let suite = parse_suite(
+        "forward zero_branch_typo {
+            stmt(Y := 0)
+            followed by !mayDef(Y)
+            until if Y goto I1 else I2 => if C goto I1 else I2
+            with witness eta(Y) == 0
+         }",
+    )
+    .unwrap();
+    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
+    let err = verifier
+        .verify_optimization(&suite.optimizations[0])
+        .expect_err("the unbound template variable must gate");
+    let cobalt::verify::VerifyError::Lint(diags) = err else {
+        panic!("expected VerifyError::Lint, got {err}");
+    };
+    assert!(
+        diags.iter().any(|d| d.code == "CL001"),
+        "{}",
+        diags.render_human()
+    );
+}
+
+#[test]
 fn tutorial_sloppy_variant_fails_as_described() {
     let suite = parse_suite(
         "forward sloppy {
