@@ -1,0 +1,524 @@
+//! A crash-safe, corruption-tolerant append-only record journal.
+//!
+//! The proof journal is what lets a killed verification run resume warm
+//! instead of starting over (see `DESIGN.md` §10): each record is an
+//! opaque payload framed with its length and an FNV-64 checksum, so a
+//! torn write, a truncated tail, or a bit flip is *detected* and
+//! discarded rather than trusted. Corruption never panics and never
+//! yields a record whose checksum does not match — the failure mode is
+//! always "fewer cached records", i.e. graceful degradation to
+//! re-proving.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! file   := magic record*
+//! magic  := "COBJRNL1"                      (8 bytes)
+//! record := len:u32le checksum:u64le payload(len bytes)
+//! ```
+//!
+//! `checksum` is [`fnv64`] of the payload. The loader scans records in
+//! order and stops at the first frame that is truncated, oversized, or
+//! checksum-mismatched; everything from that point on is discarded and
+//! the file is truncated back to the last good record, so the journal
+//! is loadable again after the next append. A missing or mangled magic
+//! discards the whole file (it was not a journal we wrote, or its very
+//! head was torn).
+//!
+//! # Durability
+//!
+//! [`Journal::append`] writes the frame; [`Journal::sync`] fsyncs it.
+//! [`Journal::compact`] atomically replaces the journal with a snapshot
+//! via a temp file + rename, so a crash mid-compaction leaves either
+//! the old journal or the new one, never a half-written hybrid.
+//!
+//! # Fault points
+//!
+//! `journal.load`, `journal.write`, and `journal.fsync` are
+//! [`fault`](crate::fault) sites (`fail` actions surface as
+//! `io::Error`), so callers' degradation paths are testable:
+//! `COBALT_FAULTS=journal.write:fail@1`.
+
+use crate::fault;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The 8-byte magic prefix identifying a journal file (and its format
+/// version — bump the trailing digit on incompatible changes).
+pub const MAGIC: &[u8; 8] = b"COBJRNL1";
+
+/// Hard cap on a single record's payload; a length field above this is
+/// treated as corruption rather than honoured (it would otherwise let
+/// one flipped bit demand a multi-gigabyte allocation).
+pub const MAX_PAYLOAD: usize = 1 << 24; // 16 MiB
+
+/// Bytes of framing per record: `len: u32` + `checksum: u64`.
+pub const FRAME: usize = 4 + 8;
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher, shared by the record checksums and
+/// the checker's obligation fingerprints.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// FNV-1a 64-bit hash of `bytes` in one call.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// What [`Journal::open`] found on disk.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Number of intact records recovered.
+    pub records: usize,
+    /// Bytes discarded from the tail (torn write, truncation, bit
+    /// flip, or a foreign/mangled header). Zero for a clean journal.
+    pub discarded_bytes: u64,
+    /// Human-readable description of the first corruption encountered,
+    /// if any.
+    pub corruption: Option<String>,
+}
+
+impl LoadReport {
+    /// Whether anything had to be discarded.
+    pub fn corrupted(&self) -> bool {
+        self.discarded_bytes > 0
+    }
+}
+
+/// The result of opening a journal: the handle, the recovered payloads
+/// (in append order), and what the loader had to discard.
+#[derive(Debug)]
+pub struct Opened {
+    /// The journal, positioned to append after the last good record.
+    pub journal: Journal,
+    /// Every intact record's payload, oldest first.
+    pub records: Vec<Vec<u8>>,
+    /// Recovery statistics.
+    pub report: LoadReport,
+}
+
+/// An append-only journal of checksummed records. See the
+/// [module docs](self) for the format and crash-safety contract.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    /// End of the last good record (including the magic header); the
+    /// next append goes here.
+    valid_len: u64,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, recovering
+    /// every intact record and truncating any corrupt tail so the file
+    /// is immediately appendable again.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `io::Error` for filesystem failures
+    /// (missing parent directory, permissions, an injected
+    /// `journal.load` fault). *Corruption is not an error* — it is
+    /// reported in [`Opened::report`] and repaired by truncation.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Opened> {
+        let path = path.as_ref().to_path_buf();
+        fault::point_err("journal.load").map_err(fault_io)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (records, valid_len, report) = scan(&bytes);
+        // Repair: drop the corrupt tail now so the invariant "the file
+        // ends at a record boundary" holds for every append.
+        if (bytes.len() as u64) > valid_len {
+            file.set_len(valid_len)?;
+        }
+        let mut journal = Journal {
+            path,
+            file,
+            valid_len,
+        };
+        if journal.valid_len == 0 {
+            journal.write_magic()?;
+        }
+        Ok(Opened {
+            journal,
+            records,
+            report,
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record (length + FNV-64 checksum + payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` on filesystem failure, an injected
+    /// `journal.write` fault, or a payload above [`MAX_PAYLOAD`].
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        fault::point_err("journal.write").map_err(fault_io)?;
+        if payload.len() > MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("journal record of {} bytes exceeds the cap", payload.len()),
+            ));
+        }
+        let mut frame = Vec::with_capacity(FRAME + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv64(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.seek(SeekFrom::Start(self.valid_len))?;
+        self.file.write_all(&frame)?;
+        self.valid_len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes appended records to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` on failure or an injected `journal.fsync`
+    /// fault.
+    pub fn sync(&mut self) -> io::Result<()> {
+        fault::point_err("journal.fsync").map_err(fault_io)?;
+        self.file.sync_data()
+    }
+
+    /// Atomically replaces the journal's contents with exactly
+    /// `records`, via a temp file in the same directory + rename. A
+    /// crash at any point leaves either the old journal or the new one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` on filesystem failure or an injected
+    /// `journal.write`/`journal.fsync` fault; the original journal is
+    /// untouched on error.
+    pub fn compact<P: AsRef<[u8]>>(&mut self, records: &[P]) -> io::Result<()> {
+        fault::point_err("journal.write").map_err(fault_io)?;
+        let tmp_path = tmp_sibling(&self.path);
+        let result = (|| -> io::Result<(File, u64)> {
+            let mut tmp = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp_path)?;
+            let mut buf = Vec::with_capacity(MAGIC.len());
+            buf.extend_from_slice(MAGIC);
+            for payload in records {
+                let payload = payload.as_ref();
+                if payload.len() > MAX_PAYLOAD {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "journal record exceeds the cap",
+                    ));
+                }
+                buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                buf.extend_from_slice(&fnv64(payload).to_le_bytes());
+                buf.extend_from_slice(payload);
+            }
+            tmp.write_all(&buf)?;
+            fault::point_err("journal.fsync").map_err(fault_io)?;
+            tmp.sync_data()?;
+            std::fs::rename(&tmp_path, &self.path)?;
+            Ok((tmp, buf.len() as u64))
+        })();
+        match result {
+            Ok((file, len)) => {
+                // The renamed temp file *is* the journal now; keep its
+                // handle so later appends go to the right inode.
+                self.file = file;
+                self.valid_len = len;
+                Ok(())
+            }
+            Err(e) => {
+                std::fs::remove_file(&tmp_path).ok();
+                Err(e)
+            }
+        }
+    }
+
+    fn write_magic(&mut self) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(MAGIC)?;
+        self.valid_len = MAGIC.len() as u64;
+        Ok(())
+    }
+}
+
+/// Scans raw journal bytes, returning the intact payloads, the byte
+/// offset after the last good record, and a recovery report. Total and
+/// panic-free on arbitrary input.
+fn scan(bytes: &[u8]) -> (Vec<Vec<u8>>, u64, LoadReport) {
+    let mut report = LoadReport::default();
+    if bytes.is_empty() {
+        return (Vec::new(), 0, report);
+    }
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        report.discarded_bytes = bytes.len() as u64;
+        report.corruption = Some("missing or corrupt magic header".into());
+        return (Vec::new(), 0, report);
+    }
+    let mut records = Vec::new();
+    let mut offset = MAGIC.len();
+    let corrupt = loop {
+        if offset == bytes.len() {
+            break None; // clean end
+        }
+        if bytes.len() - offset < FRAME {
+            break Some(format!("torn frame header at byte {offset}"));
+        }
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let checksum =
+            u64::from_le_bytes(bytes[offset + 4..offset + FRAME].try_into().expect("8 bytes"));
+        if len > MAX_PAYLOAD {
+            break Some(format!("implausible record length {len} at byte {offset}"));
+        }
+        if bytes.len() - offset - FRAME < len {
+            break Some(format!("truncated record payload at byte {offset}"));
+        }
+        let payload = &bytes[offset + FRAME..offset + FRAME + len];
+        if fnv64(payload) != checksum {
+            break Some(format!("checksum mismatch at byte {offset}"));
+        }
+        records.push(payload.to_vec());
+        offset += FRAME + len;
+    };
+    report.records = records.len();
+    report.discarded_bytes = (bytes.len() - offset) as u64;
+    report.corruption = corrupt;
+    (records, offset as u64, report)
+}
+
+/// The temp-file path used by [`Journal::compact`]: a sibling so the
+/// rename stays within one filesystem.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+fn fault_io(e: fault::FaultError) -> io::Error {
+    io::Error::other(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "cobalt_journal_{}_{name}.cobj",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn roundtrip_append_and_reload() {
+        let path = tmp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let mut opened = Journal::open(&path).unwrap();
+        assert!(opened.records.is_empty());
+        opened.journal.append(b"alpha").unwrap();
+        opened.journal.append(b"").unwrap(); // empty payloads are legal
+        opened.journal.append(b"gamma\tdelta\n").unwrap();
+        opened.journal.sync().unwrap();
+        let reopened = Journal::open(&path).unwrap();
+        assert_eq!(
+            reopened.records,
+            vec![b"alpha".to_vec(), b"".to_vec(), b"gamma\tdelta\n".to_vec()]
+        );
+        assert!(!reopened.report.corrupted());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_discarded_and_repaired() {
+        let path = tmp("truncated");
+        std::fs::remove_file(&path).ok();
+        let mut opened = Journal::open(&path).unwrap();
+        opened.journal.append(b"keep-me").unwrap();
+        opened.journal.append(b"lose-my-tail").unwrap();
+        drop(opened);
+        let len = std::fs::metadata(&path).unwrap().len();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..len as usize - 3]).unwrap();
+        let recovered = Journal::open(&path).unwrap();
+        assert_eq!(recovered.records, vec![b"keep-me".to_vec()]);
+        assert!(recovered.report.corrupted());
+        assert!(recovered.report.corruption.is_some());
+        // The repair truncated the file: a fresh append then reload
+        // yields exactly [keep-me, appended].
+        let mut journal = recovered.journal;
+        journal.append(b"appended").unwrap();
+        drop(journal);
+        let reloaded = Journal::open(&path).unwrap();
+        assert_eq!(
+            reloaded.records,
+            vec![b"keep-me".to_vec(), b"appended".to_vec()]
+        );
+        assert!(!reloaded.report.corrupted());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_discards_from_the_flipped_record() {
+        let path = tmp("bitflip");
+        std::fs::remove_file(&path).ok();
+        let mut opened = Journal::open(&path).unwrap();
+        for payload in [b"record-one".as_slice(), b"record-two", b"record-three"] {
+            opened.journal.append(payload).unwrap();
+        }
+        drop(opened);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the second record's payload.
+        let second_payload_start = MAGIC.len() + FRAME + b"record-one".len() + FRAME;
+        bytes[second_payload_start + 2] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let recovered = Journal::open(&path).unwrap();
+        assert_eq!(recovered.records, vec![b"record-one".to_vec()]);
+        assert!(recovered
+            .report
+            .corruption
+            .as_deref()
+            .unwrap()
+            .contains("checksum mismatch"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_not_trusted() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"this is not a journal at all").unwrap();
+        let recovered = Journal::open(&path).unwrap();
+        assert!(recovered.records.is_empty());
+        assert!(recovered.report.corrupted());
+        // And it has been converted into a valid empty journal.
+        let reloaded = Journal::open(&path).unwrap();
+        assert!(reloaded.records.is_empty());
+        assert!(!reloaded.report.corrupted());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_length_field_is_corruption_not_allocation() {
+        let path = tmp("oversize");
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(b"junk");
+        std::fs::write(&path, &bytes).unwrap();
+        let recovered = Journal::open(&path).unwrap();
+        assert!(recovered.records.is_empty());
+        assert!(recovered
+            .report
+            .corruption
+            .as_deref()
+            .unwrap()
+            .contains("implausible"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_replaces_contents_atomically() {
+        let path = tmp("compact");
+        std::fs::remove_file(&path).ok();
+        let mut opened = Journal::open(&path).unwrap();
+        opened.journal.append(b"old-1").unwrap();
+        opened.journal.append(b"old-2").unwrap();
+        opened
+            .journal
+            .compact(&[b"new-1".as_slice(), b"new-2", b"new-3"])
+            .unwrap();
+        // Appends after compaction land on the renamed file.
+        opened.journal.append(b"post").unwrap();
+        opened.journal.sync().unwrap();
+        drop(opened);
+        let reloaded = Journal::open(&path).unwrap();
+        assert_eq!(
+            reloaded.records,
+            vec![
+                b"new-1".to_vec(),
+                b"new-2".to_vec(),
+                b"new-3".to_vec(),
+                b"post".to_vec()
+            ]
+        );
+        assert!(!std::fs::exists(tmp_sibling(&path)).unwrap_or(true));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fault_points_surface_as_io_errors() {
+        let path = tmp("faults");
+        std::fs::remove_file(&path).ok();
+        let e = fault::with_faults("journal.load:fail@1", || Journal::open(&path)).unwrap_err();
+        assert!(e.to_string().contains("injected fault"));
+        let mut opened = Journal::open(&path).unwrap();
+        let e = fault::with_faults("journal.write:fail@1", || opened.journal.append(b"x"))
+            .unwrap_err();
+        assert!(e.to_string().contains("journal.write"));
+        let e = fault::with_faults("journal.fsync:fail@1", || opened.journal.sync()).unwrap_err();
+        assert!(e.to_string().contains("journal.fsync"));
+        // After a failed append nothing was written: reload is clean.
+        opened.journal.append(b"real").unwrap();
+        drop(opened);
+        let reloaded = Journal::open(&path).unwrap();
+        assert_eq!(reloaded.records, vec![b"real".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fnv64_matches_known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+        let mut streaming = Fnv64::new();
+        streaming.write(b"foo").write(b"bar");
+        assert_eq!(streaming.finish(), fnv64(b"foobar"));
+    }
+}

@@ -14,7 +14,11 @@
 //!   median/p95, JSON-lines output) standing in for `criterion`;
 //! * [`fault`] — deterministic, env-driven fault injection points
 //!   (`COBALT_FAULTS=site:panic@n,…`) used to exercise the workspace's
-//!   graceful-degradation paths; off by default with near-zero cost.
+//!   graceful-degradation paths; off by default with near-zero cost;
+//! * [`journal`] — a crash-safe, corruption-tolerant append-only record
+//!   journal (length + FNV-64 checksum framing, truncation/bit-flip
+//!   recovery, atomic temp-file+rename compaction) backing resumable
+//!   verification sessions.
 //!
 //! The workspace's hermetic-build policy (see `DESIGN.md`) forbids
 //! external registry dependencies so that `cargo build --release
@@ -26,6 +30,7 @@
 
 pub mod bench;
 pub mod fault;
+pub mod journal;
 pub mod prop;
 pub mod rng;
 

@@ -45,6 +45,12 @@ pub struct ObligationOutcome {
     /// nothing about soundness; open-branch failures are evidence of a
     /// real problem.
     pub resource_limited: bool,
+    /// Whether this outcome was replayed from a proof journal
+    /// ([`crate::Session`]) instead of freshly discharged. Cached
+    /// outcomes are always proved ones — failures are never reused —
+    /// and their `attempts`/`escalations`/`elapsed` describe the
+    /// original run.
+    pub cached: bool,
 }
 
 /// Escalating prover-limit tiers plus an overall per-report deadline —
@@ -149,17 +155,38 @@ impl Report {
         self.outcomes.iter().map(|o| o.attempts).sum()
     }
 
+    /// How many outcomes were replayed from a proof journal rather
+    /// than freshly discharged.
+    pub fn cached_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cached).count()
+    }
+
+    /// How many outcomes were freshly proved this run (proved and not
+    /// cached).
+    pub fn fresh_proved_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.proved && !o.cached).count()
+    }
+
     /// A one-line summary. Fully proved reports read
     /// `const_prop: 34/34 obligations proved in 120ms`; failing ones
     /// name the failed obligations, e.g.
     /// `dae: 30/32 obligations proved (failed: B2/store_deref, B3/return) in 1.2s`.
+    /// Resumed sessions add the cache split, e.g.
+    /// `const_prop: 34/34 obligations proved (30 cached, 4 fresh) in 4ms`,
+    /// so warm runs are observable in plain output.
     pub fn summary(&self) -> String {
         let proved = self.outcomes.iter().filter(|o| o.proved).count();
         let total = self.outcomes.len();
+        let cached = self.cached_count();
+        let cache_note = if cached > 0 {
+            format!(" ({cached} cached, {} fresh)", total - cached)
+        } else {
+            String::new()
+        };
         if proved == total {
             return format!(
-                "{}: {}/{} obligations proved in {:.1?}",
-                self.name, proved, total, self.elapsed
+                "{}: {}/{} obligations proved{} in {:.1?}",
+                self.name, proved, total, cache_note, self.elapsed
             );
         }
         const MAX_NAMED: usize = 6;
@@ -172,10 +199,11 @@ impl Report {
             String::new()
         };
         format!(
-            "{}: {}/{} obligations proved (failed: {}{}) in {:.1?}",
+            "{}: {}/{} obligations proved{} (failed: {}{}) in {:.1?}",
             self.name,
             proved,
             total,
+            cache_note,
             {
                 named.sort();
                 named.join(", ")
@@ -199,9 +227,9 @@ impl Report {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Verifier {
-    env: LabelEnv,
-    meanings: SemanticMeanings,
-    policy: RetryPolicy,
+    pub(crate) env: LabelEnv,
+    pub(crate) meanings: SemanticMeanings,
+    pub(crate) policy: RetryPolicy,
 }
 
 impl Verifier {
@@ -247,7 +275,7 @@ impl Verifier {
     /// constructed, let alone sent to the prover. A panic inside the
     /// linter (e.g. an injected `lint.rule` fault) is isolated into a
     /// `CL000` diagnostic rather than unwinding through the checker.
-    fn lint_gate(
+    pub(crate) fn lint_gate(
         &self,
         name: &str,
         lint: impl FnOnce(&cobalt_lint::LintContext<'_>, &cobalt_lint::RuleLintOptions) -> cobalt_lint::Diagnostics,
@@ -345,7 +373,21 @@ impl Verifier {
 
     /// Runs one obligation through the retry schedule, isolating prover
     /// panics.
-    fn discharge(&self, mut p: Prepared, report_deadline: Option<Instant>) -> ObligationOutcome {
+    fn discharge(&self, p: Prepared, report_deadline: Option<Instant>) -> ObligationOutcome {
+        self.discharge_from(p, report_deadline, 0)
+    }
+
+    /// [`discharge`](Self::discharge) starting at limit tier
+    /// `start_tier` instead of tier 0 — how a resumed [`crate::Session`]
+    /// carries escalation state across a crash: tiers a previous run
+    /// already exhausted on this obligation are not re-attempted.
+    /// `attempts`/`escalations` in the outcome count this run only.
+    pub(crate) fn discharge_from(
+        &self,
+        mut p: Prepared,
+        report_deadline: Option<Instant>,
+        start_tier: usize,
+    ) -> ObligationOutcome {
         let obligation_start = Instant::now();
         let mut attempts = 0u32;
         let mut done = |proved, detail, resource_limited, attempts: u32| ObligationOutcome {
@@ -356,6 +398,7 @@ impl Verifier {
             attempts,
             escalations: attempts.saturating_sub(1),
             resource_limited,
+            cached: false,
         };
         let n_tiers = self.policy.tiers.len().max(1);
         let fallback = [Limits::default()];
@@ -364,7 +407,8 @@ impl Verifier {
         } else {
             &self.policy.tiers
         };
-        for (ti, tier) in tiers.iter().enumerate() {
+        let start_tier = start_tier.min(n_tiers - 1);
+        for (ti, tier) in tiers.iter().enumerate().skip(start_tier) {
             // Clip this attempt's prover deadline to what remains of
             // the report budget; if nothing remains, stop attempting.
             let mut limits = tier.clone();

@@ -71,6 +71,7 @@ pub mod error;
 pub mod guardenc;
 pub mod infer;
 pub mod oblig;
+pub mod session;
 pub mod vocab;
 
 pub use checker::{ObligationOutcome, Report, RetryPolicy, Verifier};
@@ -78,3 +79,4 @@ pub use enc::{Enc, SemanticMeanings, Shape, SymState, TaintMode};
 pub use error::VerifyError;
 pub use infer::{infer_witness, with_inferred_witness};
 pub use oblig::{obligations_for_analysis, obligations_for_optimization, Prepared};
+pub use session::{fingerprint_obligation, ResumeMode, Session};

@@ -1,0 +1,561 @@
+//! Crash-safe verification sessions: a [`Session`] wraps a
+//! [`Verifier`] and a persistent proof journal so that a killed or
+//! deadline-expired run resumes *warm* — already-proved obligations are
+//! replayed from the journal instead of re-proved, failures and
+//! resource-limited obligations are re-attempted (resuming their
+//! [`RetryPolicy`](crate::RetryPolicy) escalation where it left off),
+//! and any journal corruption degrades to re-proving, never to a
+//! trusted-but-wrong outcome. See `DESIGN.md` §10.
+//!
+//! # Fingerprints
+//!
+//! A cached outcome is only reused when its **content fingerprint**
+//! matches: an FNV-64 hash over the rule's full AST (its `Debug`
+//! rendering), the obligation id, the obligation's actual logical
+//! encoding (every hypothesis and the goal, rendered against the term
+//! bank), and the prover limit tiers. Any semantic change — to the
+//! rule, to the obligation builders, to the encoding, or to the limits
+//! the proof would run under — changes the fingerprint and invalidates
+//! the cache entry. The per-report wall-clock deadline is deliberately
+//! *not* part of the fingerprint: it bounds a run, not a proof, so a
+//! resumed run may use a different deadline and still reuse outcomes.
+//!
+//! # Degradation
+//!
+//! A journal that cannot be written mid-run (disk full, injected
+//! `journal.write`/`journal.fsync` fault) switches the session to
+//! uncached verification: proving continues, nothing is lost except
+//! warmth, and [`Session::degraded`] reports why.
+
+use crate::checker::{ObligationOutcome, Report, Verifier};
+use crate::error::VerifyError;
+use crate::oblig::{obligations_for_analysis, obligations_for_optimization, Prepared};
+use cobalt_dsl::{Optimization, PureAnalysis};
+use cobalt_logic::Limits;
+use cobalt_support::journal::{Fnv64, Journal, LoadReport};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Version tag mixed into every fingerprint; bump on any change to the
+/// fingerprint inputs or the record format so stale journals invalidate
+/// wholesale instead of aliasing.
+const FINGERPRINT_VERSION: &str = "cobalt-oblig-fp-v1";
+
+/// Record format version written as each record's first field.
+const RECORD_VERSION: &str = "v1";
+
+/// Stable content fingerprint of one prepared obligation.
+///
+/// Inputs: the fingerprint version, the rule's `Debug` AST rendering
+/// (`rule_src`), the obligation id, every hypothesis and the goal of
+/// the proof task rendered against the solver's term bank, and the
+/// retry policy's limit tiers. 64 bits of FNV-1a — collisions are
+/// vanishingly unlikely within one registry, and a collision could
+/// only replay a *proved* outcome of a different obligation, which the
+/// next fresh run would correct.
+pub fn fingerprint_obligation(rule_src: &str, p: &Prepared, tiers: &[Limits]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(FINGERPRINT_VERSION.as_bytes()).write(b"\0");
+    h.write(rule_src.as_bytes()).write(b"\0");
+    h.write(p.id.as_bytes()).write(b"\0");
+    for hyp in &p.task.hypotheses {
+        h.write(hyp.display(&p.solver.bank).as_bytes()).write(b"\n");
+    }
+    h.write(b"|-\n");
+    h.write(p.task.goal.display(&p.solver.bank).as_bytes());
+    h.write(b"\0");
+    for tier in tiers {
+        h.write(format!("{tier:?}").as_bytes()).write(b"\0");
+    }
+    h.finish()
+}
+
+/// One journaled obligation outcome, as parsed back from a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct JournalEntry {
+    pub fingerprint: u64,
+    pub rule: String,
+    pub id: String,
+    pub proved: bool,
+    pub resource_limited: bool,
+    pub attempts: u32,
+    pub escalations: u32,
+    /// Next limit tier to attempt (tiers `0..tier` are already
+    /// exhausted); how escalation state survives a crash.
+    pub tier: u32,
+    pub elapsed_us: u64,
+    pub detail: String,
+}
+
+impl JournalEntry {
+    /// Encodes the entry as a journal payload: tab-separated
+    /// `key=value` fields behind a version tag, values escaped.
+    pub fn encode(&self) -> Vec<u8> {
+        format!(
+            "{RECORD_VERSION}\tfp={:016x}\trule={}\tid={}\tproved={}\trl={}\tattempts={}\tesc={}\ttier={}\telapsed_us={}\tdetail={}",
+            self.fingerprint,
+            escape(&self.rule),
+            escape(&self.id),
+            u8::from(self.proved),
+            u8::from(self.resource_limited),
+            self.attempts,
+            self.escalations,
+            self.tier,
+            self.elapsed_us,
+            escape(&self.detail),
+        )
+        .into_bytes()
+    }
+
+    /// Decodes a journal payload. `None` for records of an unknown
+    /// version or shape — such records are *skipped* (treated as not
+    /// cached), never trusted and never fatal.
+    pub fn decode(payload: &[u8]) -> Option<JournalEntry> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let mut fields = text.split('\t');
+        if fields.next()? != RECORD_VERSION {
+            return None;
+        }
+        let mut entry = JournalEntry {
+            fingerprint: 0,
+            rule: String::new(),
+            id: String::new(),
+            proved: false,
+            resource_limited: false,
+            attempts: 0,
+            escalations: 0,
+            tier: 0,
+            elapsed_us: 0,
+            detail: String::new(),
+        };
+        let mut seen = 0u32;
+        for field in fields {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "fp" => entry.fingerprint = u64::from_str_radix(value, 16).ok()?,
+                "rule" => entry.rule = unescape(value)?,
+                "id" => entry.id = unescape(value)?,
+                "proved" => entry.proved = value == "1",
+                "rl" => entry.resource_limited = value == "1",
+                "attempts" => entry.attempts = value.parse().ok()?,
+                "esc" => entry.escalations = value.parse().ok()?,
+                "tier" => entry.tier = value.parse().ok()?,
+                "elapsed_us" => entry.elapsed_us = value.parse().ok()?,
+                "detail" => entry.detail = unescape(value)?,
+                _ => continue, // forward-compatible: unknown keys ignored
+            }
+            seen += 1;
+        }
+        // Every v1 field is required (detail may be empty but present).
+        if seen < 10 {
+            return None;
+        }
+        Some(entry)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// How [`Session::with_journal`] treats an existing journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeMode {
+    /// Reuse every intact, fingerprint-matching proved outcome; the
+    /// default. An empty or absent journal resumes to nothing, so this
+    /// is always safe.
+    Resume,
+    /// Discard any existing journal contents and start cold.
+    Fresh,
+}
+
+/// A cached record plus its exact on-disk payload (kept so unchanged
+/// outcomes are carried into the compacted journal byte-for-byte).
+#[derive(Debug, Clone)]
+struct Cached {
+    entry: JournalEntry,
+    raw: Vec<u8>,
+}
+
+/// A resumable verification session. See the [module docs](self).
+#[derive(Debug)]
+pub struct Session {
+    verifier: Verifier,
+    journal: Option<Journal>,
+    cache: HashMap<u64, Cached>,
+    /// Payloads belonging to this session's outcomes (reused raw
+    /// records and fresh appends, in discharge order); what
+    /// [`finish`](Self::finish) compacts the journal down to.
+    session_payloads: Vec<Vec<u8>>,
+    loaded: LoadReport,
+    degraded: Option<String>,
+}
+
+impl Session {
+    /// A session without a journal: verification behaves exactly like
+    /// calling the [`Verifier`] directly (nothing cached, nothing
+    /// persisted).
+    pub fn new(verifier: Verifier) -> Session {
+        Session {
+            verifier,
+            journal: None,
+            cache: HashMap::new(),
+            session_payloads: Vec::new(),
+            loaded: LoadReport::default(),
+            degraded: None,
+        }
+    }
+
+    /// Opens (creating if absent) the proof journal at `path` and
+    /// builds the resume cache from its intact records. Corrupt tails
+    /// are discarded by the journal loader — see
+    /// [`load_report`](Self::load_report) for what was recovered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `io::Error` if the journal file cannot be opened at
+    /// all (bad path, permissions, injected `journal.load` fault).
+    /// Corruption inside the file is *not* an error.
+    pub fn with_journal(
+        verifier: Verifier,
+        path: impl AsRef<Path>,
+        mode: ResumeMode,
+    ) -> io::Result<Session> {
+        let mut opened = Journal::open(path)?;
+        let mut cache = HashMap::new();
+        match mode {
+            ResumeMode::Fresh => {
+                opened.journal.compact(&[] as &[&[u8]])?;
+                opened.report = LoadReport::default();
+            }
+            ResumeMode::Resume => {
+                for raw in &opened.records {
+                    // Later records win: a re-proof appended after an
+                    // old failure supersedes it.
+                    if let Some(entry) = JournalEntry::decode(raw) {
+                        cache.insert(
+                            entry.fingerprint,
+                            Cached {
+                                entry,
+                                raw: raw.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        Ok(Session {
+            verifier,
+            journal: Some(opened.journal),
+            cache,
+            session_payloads: Vec::new(),
+            loaded: opened.report,
+            degraded: None,
+        })
+    }
+
+    /// The wrapped verifier.
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
+    /// What the journal loader recovered and discarded at open.
+    pub fn load_report(&self) -> &LoadReport {
+        &self.loaded
+    }
+
+    /// Why journaling was disabled mid-run, if it was. Verification
+    /// results are unaffected — only caching is lost.
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Verifies an optimization, replaying journaled outcomes where
+    /// fingerprints match and journaling every fresh outcome as it
+    /// lands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] if the optimization cannot be encoded
+    /// (same contract as [`Verifier::verify_optimization`]).
+    pub fn verify_optimization(&mut self, opt: &Optimization) -> Result<Report, VerifyError> {
+        self.verifier.lint_gate(&opt.name, |ctx, opts| {
+            cobalt_lint::lint_optimization(opt, ctx, opts)
+        })?;
+        let prepared =
+            obligations_for_optimization(opt, &self.verifier.env, &self.verifier.meanings)?;
+        let rule_src = format!("{opt:?}");
+        Ok(self.run(opt.name.clone(), &rule_src, prepared))
+    }
+
+    /// Verifies a pure analysis with the same journaling behaviour as
+    /// [`verify_optimization`](Self::verify_optimization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError`] if the analysis cannot be encoded.
+    pub fn verify_analysis(&mut self, analysis: &PureAnalysis) -> Result<Report, VerifyError> {
+        self.verifier.lint_gate(&analysis.name, |ctx, opts| {
+            cobalt_lint::lint_analysis(analysis, ctx, opts)
+        })?;
+        let prepared =
+            obligations_for_analysis(analysis, &self.verifier.env, &self.verifier.meanings)?;
+        let rule_src = format!("{analysis:?}");
+        Ok(self.run(analysis.name.clone(), &rule_src, prepared))
+    }
+
+    /// Compacts the journal down to this session's outcomes (atomic
+    /// temp-file + rename), dropping superseded and stale records.
+    /// Call once after the last report; skipping it costs nothing but
+    /// disk — the journal stays correct, just uncompacted.
+    ///
+    /// A compaction failure degrades (the appended journal is still
+    /// valid) rather than erroring.
+    pub fn finish(&mut self) {
+        if let Some(journal) = &mut self.journal {
+            if let Err(e) = journal.compact(&self.session_payloads) {
+                self.degrade(format!("journal compaction failed: {e}"));
+            }
+        }
+    }
+
+    fn degrade(&mut self, reason: String) {
+        self.journal = None;
+        if self.degraded.is_none() {
+            self.degraded = Some(reason);
+        }
+    }
+
+    /// The session analogue of `Verifier::run`: per obligation, replay
+    /// a cached proof, or discharge (resuming escalation for a known
+    /// resource-limited failure) and journal the outcome.
+    fn run(&mut self, name: String, rule_src: &str, prepared: Vec<Prepared>) -> Report {
+        let start = Instant::now();
+        let report_deadline = self
+            .verifier
+            .policy
+            .report_deadline
+            .and_then(|d| start.checked_add(d));
+        let tiers = self.verifier.policy.tiers.clone();
+        let mut outcomes = Vec::new();
+        for p in prepared {
+            let fp = fingerprint_obligation(rule_src, &p, &tiers);
+            let hit = self.cache.get(&fp).cloned();
+            if let Some(cached) = &hit {
+                if cached.entry.proved {
+                    outcomes.push(ObligationOutcome {
+                        id: p.id,
+                        proved: true,
+                        elapsed: Duration::from_micros(cached.entry.elapsed_us),
+                        detail: String::new(),
+                        attempts: cached.entry.attempts,
+                        escalations: cached.entry.escalations,
+                        resource_limited: false,
+                        cached: true,
+                    });
+                    self.session_payloads.push(cached.raw.clone());
+                    continue;
+                }
+            }
+            // A recorded resource-limited failure resumes at the tier
+            // after the last one it exhausted; open-branch and panic
+            // failures (deterministic, but the rule or encoding may
+            // have been the problem last time the fingerprint was
+            // computed — it matches, so they simply retry) start cold.
+            let start_tier = match &hit {
+                Some(c) if c.entry.resource_limited => c.entry.tier as usize,
+                _ => 0,
+            };
+            let outcome = self
+                .verifier
+                .discharge_from(p, report_deadline, start_tier);
+            let entry = JournalEntry {
+                fingerprint: fp,
+                rule: name.clone(),
+                id: outcome.id.clone(),
+                proved: outcome.proved,
+                resource_limited: outcome.resource_limited,
+                attempts: outcome.attempts,
+                escalations: outcome.escalations,
+                tier: (start_tier as u32).saturating_add(outcome.attempts),
+                elapsed_us: outcome.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                detail: outcome.detail.clone(),
+            };
+            self.journal_outcome(entry);
+            outcomes.push(outcome);
+        }
+        Report {
+            name,
+            outcomes,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Appends + fsyncs one outcome record; an I/O failure (or injected
+    /// `journal.write`/`journal.fsync` fault) disables journaling for
+    /// the rest of the session instead of failing verification.
+    fn journal_outcome(&mut self, entry: JournalEntry) {
+        let payload = entry.encode();
+        if let Some(journal) = &mut self.journal {
+            let result = journal.append(&payload).and_then(|()| journal.sync());
+            if let Err(e) = result {
+                self.degrade(format!("journal write failed: {e}"));
+                return;
+            }
+        }
+        self.session_payloads.push(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> JournalEntry {
+        JournalEntry {
+            fingerprint: 0xdead_beef_0123_4567,
+            rule: "const_prop".into(),
+            id: "F2/assign_var".into(),
+            proved: false,
+            resource_limited: true,
+            attempts: 2,
+            escalations: 1,
+            tier: 2,
+            elapsed_us: 1234,
+            detail: "deadline;\twith\ttabs\nand newlines\\".into(),
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_preserves_every_field() {
+        let e = entry();
+        let decoded = JournalEntry::decode(&e.encode()).expect("roundtrip");
+        assert_eq!(decoded, e);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_versions_and_junk_without_panicking() {
+        assert_eq!(JournalEntry::decode(b""), None);
+        assert_eq!(JournalEntry::decode(b"v0\tfp=00"), None);
+        assert_eq!(JournalEntry::decode(b"v1"), None, "missing fields");
+        assert_eq!(JournalEntry::decode(b"v1\tfp=nothex"), None);
+        assert_eq!(JournalEntry::decode(&[0xff, 0xfe, 0x00]), None, "not utf-8");
+        let mut truncated = entry().encode();
+        truncated.truncate(truncated.len() / 2);
+        // Either decodes to None or to nothing usable; must not panic.
+        let _ = JournalEntry::decode(&truncated);
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored_for_forward_compat() {
+        let mut payload = entry().encode();
+        payload.extend_from_slice(b"\tfuture_field=whatever");
+        assert_eq!(JournalEntry::decode(&payload), Some(entry()));
+    }
+
+    #[test]
+    fn escape_roundtrips_control_characters() {
+        for s in ["", "plain", "tab\there", "line\nbreak", "back\\slash\r"] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s));
+        }
+        assert_eq!(unescape("bad\\x"), None);
+        assert_eq!(unescape("dangling\\"), None);
+    }
+
+    #[test]
+    fn fingerprint_depends_on_rule_id_and_tiers() {
+        use cobalt_dsl::LabelEnv;
+        use crate::enc::SemanticMeanings;
+        let opt = cobalt_opts_fixture();
+        let prepared = obligations_for_optimization(
+            &opt,
+            &LabelEnv::standard(),
+            &SemanticMeanings::standard(),
+        )
+        .unwrap();
+        let p = &prepared[0];
+        let tiers = crate::RetryPolicy::default().tiers;
+        let base = fingerprint_obligation("rule-src", p, &tiers);
+        assert_eq!(
+            base,
+            fingerprint_obligation("rule-src", p, &tiers),
+            "deterministic"
+        );
+        assert_ne!(base, fingerprint_obligation("rule-src-2", p, &tiers));
+        assert_ne!(
+            base,
+            fingerprint_obligation("rule-src", p, &tiers[..1]),
+            "limit tiers are fingerprint inputs"
+        );
+        let mut renamed = obligations_for_optimization(
+            &opt,
+            &LabelEnv::standard(),
+            &SemanticMeanings::standard(),
+        )
+        .unwrap();
+        renamed[0].id.push('!');
+        assert_ne!(base, fingerprint_obligation("rule-src", &renamed[0], &tiers));
+    }
+
+    /// The doc-comment const_prop rule, rebuilt here as a fixture.
+    fn cobalt_opts_fixture() -> Optimization {
+        use cobalt_dsl::*;
+        Optimization::new(
+            "const_prop",
+            TransformPattern {
+                direction: Direction::Forward,
+                guard: GuardSpec::Region(RegionGuard {
+                    psi1: Guard::Stmt(StmtPat::Assign(
+                        LhsPat::Var(VarPat::pat("Y")),
+                        ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+                    )),
+                    psi2: Guard::not_label("mayDef", vec![LabelArgPat::Var(VarPat::pat("Y"))]),
+                }),
+                from: StmtPat::Assign(
+                    LhsPat::Var(VarPat::pat("X")),
+                    ExprPat::Base(BasePat::Var(VarPat::pat("Y"))),
+                ),
+                to: StmtPat::Assign(
+                    LhsPat::Var(VarPat::pat("X")),
+                    ExprPat::Base(BasePat::Const(ConstPat::pat("C"))),
+                ),
+                where_clause: Guard::True,
+                witness: Witness::Forward(ForwardWitness::VarEqConst(
+                    VarPat::pat("Y"),
+                    ConstPat::pat("C"),
+                )),
+            },
+        )
+    }
+}

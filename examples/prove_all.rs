@@ -10,14 +10,27 @@
 //! ```sh
 //! cargo run --release --example prove_all
 //! ```
+//!
+//! Set `COBALT_JOURNAL=<path>` to run through a resumable proof journal
+//! (DESIGN.md §10): the first run proves everything and caches it, and
+//! subsequent runs replay cached outcomes — the `cached` column shows
+//! how many obligations each entry reused.
 
 use cobalt::dsl::LabelEnv;
-use cobalt::verify::{Report, SemanticMeanings, Verifier};
+use cobalt::verify::{Report, ResumeMode, SemanticMeanings, Session, Verifier};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
-    let mut rows: Vec<(String, usize, usize, u32, f64)> = Vec::new();
+    let mut session = match std::env::var("COBALT_JOURNAL") {
+        Ok(path) => {
+            println!("journaling to {path} (cached outcomes replay on rerun)");
+            Session::with_journal(verifier, &path, ResumeMode::Resume)?
+        }
+        Err(_) => Session::new(verifier),
+    };
+
+    let mut rows: Vec<(String, usize, usize, usize, u32, f64)> = Vec::new();
     let mut push = |report: &Report| {
         // The one-line summary names any failing obligation ids.
         println!("  {}", report.summary());
@@ -26,43 +39,51 @@ fn main() -> Result<(), Box<dyn Error>> {
             report.name.clone(),
             proved,
             report.outcomes.len(),
+            report.cached_count(),
             report.total_attempts(),
             report.elapsed.as_secs_f64() * 1e3,
         ));
     };
 
     for analysis in cobalt::opts::all_analyses() {
-        let report = verifier.verify_analysis(&analysis)?;
+        let report = session.verify_analysis(&analysis)?;
         assert!(report.all_proved(), "{}", report.summary());
         push(&report);
     }
     for opt in cobalt::opts::all_optimizations() {
-        let report = verifier.verify_optimization(&opt)?;
+        let report = session.verify_optimization(&opt)?;
         assert!(report.all_proved(), "{}", report.summary());
         push(&report);
+    }
+    session.finish();
+    if let Some(reason) = session.degraded() {
+        println!("note: journaling disabled mid-run ({reason})");
     }
 
     println!();
     println!("Table 1: automatic soundness proofs of the optimization suite");
     println!(
-        "{:<22} {:>12} {:>10} {:>12}",
-        "optimization", "obligations", "attempts", "time (ms)"
+        "{:<22} {:>12} {:>8} {:>8} {:>10} {:>12}",
+        "optimization", "obligations", "cached", "fresh", "attempts", "time (ms)"
     );
-    println!("{}", "-".repeat(60));
-    for (name, proved, total, attempts, ms) in &rows {
+    println!("{}", "-".repeat(78));
+    for (name, proved, total, cached, attempts, ms) in &rows {
         assert_eq!(proved, total);
-        println!("{name:<22} {total:>12} {attempts:>10} {ms:>12.2}");
+        let fresh = total - cached;
+        println!("{name:<22} {total:>12} {cached:>8} {fresh:>8} {attempts:>10} {ms:>12.2}");
     }
-    println!("{}", "-".repeat(60));
-    let times: Vec<f64> = rows.iter().map(|r| r.4).collect();
+    println!("{}", "-".repeat(78));
+    let times: Vec<f64> = rows.iter().map(|r| r.5).collect();
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = times.iter().cloned().fold(0.0f64, f64::max);
     let avg = times.iter().sum::<f64>() / times.len() as f64;
     let total_obls: usize = rows.iter().map(|r| r.2).sum();
+    let total_cached: usize = rows.iter().map(|r| r.3).sum();
     println!(
-        "{} entries, {} obligations; time range {:.2}–{:.2} ms, average {:.2} ms",
+        "{} entries, {} obligations ({} cached); time range {:.2}–{:.2} ms, average {:.2} ms",
         rows.len(),
         total_obls,
+        total_cached,
         min,
         max,
         avg

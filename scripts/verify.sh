@@ -96,6 +96,64 @@ if [[ $code -ne 4 ]]; then
     echo "lint: fault-injected lint exited $code (want 4)"; exit 1
 fi
 
+echo "== journal stage (crash-safe resume)"
+
+# Interrupted run: a tight report deadline kills the suite mid-way
+# (exit 3, resource-limited) but journals whatever did prove.
+journal=$(mktemp -u /tmp/cobalt_verify_journal_XXXXXX.cobj)
+set +e
+"$COBALT" verify --journal "$journal" --timeout 0.002 >/dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 3 ]]; then
+    echo "journal: interrupted verify exited $code (want 3)"; rm -f "$journal"; exit 1
+fi
+if [[ ! -s "$journal" ]]; then
+    echo "journal: interrupted run left no journal file"; rm -f "$journal"; exit 1
+fi
+
+# Resume: the rerun replays the cached proofs and proves only the
+# remainder — it must succeed outright and say so.
+set +e
+out=$("$COBALT" verify --journal "$journal" --resume 2>&1)
+code=$?
+set -e
+if [[ $code -ne 0 ]]; then
+    echo "journal: resumed verify exited $code (want 0):"; echo "$out"; rm -f "$journal"; exit 1
+fi
+# A third run must be fully warm: no report may show a nonzero fresh
+# count.
+set +e
+out=$("$COBALT" verify --journal "$journal" --resume 2>&1)
+code=$?
+set -e
+if [[ $code -ne 0 ]]; then
+    echo "journal: warm verify exited $code (want 0)"; rm -f "$journal"; exit 1
+fi
+if ! grep -q "cached" <<<"$out"; then
+    echo "journal: warm verify reported no cached obligations:"; echo "$out"; rm -f "$journal"; exit 1
+fi
+if grep -qE '\([0-9]+ cached, [1-9][0-9]* fresh\)' <<<"$out"; then
+    echo "journal: warm verify still proved fresh obligations:"; echo "$out"; rm -f "$journal"; exit 1
+fi
+rm -f "$journal"
+
+# Graceful degradation: an injected journal write failure must not
+# change the verdict — the run completes uncached (exit 0) and says
+# journaling was disabled.
+journal=$(mktemp -u /tmp/cobalt_verify_journal_XXXXXX.cobj)
+set +e
+out=$(COBALT_FAULTS=journal.write:fail@1 "$COBALT" verify --journal "$journal" 2>&1)
+code=$?
+set -e
+rm -f "$journal"
+if [[ $code -ne 0 ]]; then
+    echo "journal: write-fault verify exited $code (want 0):"; echo "$out"; exit 1
+fi
+if ! grep -q "journaling disabled" <<<"$out"; then
+    echo "journal: write-fault verify did not report degradation:"; echo "$out"; exit 1
+fi
+
 if [[ "${1:-}" == "--benches" ]]; then
     for bench in proof_times engine_scaling tv_vs_proof prover_ablation; do
         echo "== cargo bench --bench ${bench} (fast mode)"

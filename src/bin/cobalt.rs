@@ -5,6 +5,7 @@
 //! cobalt run <prog.il> [--arg N]
 //! cobalt optimize <prog.il> [--passes a,b,…|all] [--rounds N] [--recursive-dae] [--resilient]
 //! cobalt verify [<suite.cob>] [--include-buggy] [--timeout SECS] [--max-splits N]
+//!               [--journal PATH [--resume|--fresh]]
 //! cobalt lint [<file.il|file.cob>…] [--json] [--deny warn]
 //! cobalt validate <orig.il> <new.il>
 //! cobalt hunt <name|suite.cob> [--tries N]
@@ -20,7 +21,7 @@
 use cobalt::dsl::{LabelEnv, Optimization, PureAnalysis};
 use cobalt::engine::Engine;
 use cobalt::il::{parse_program, pretty_program, Interp};
-use cobalt::verify::{RetryPolicy, SemanticMeanings, Verifier};
+use cobalt::verify::{ResumeMode, RetryPolicy, SemanticMeanings, Session, Verifier};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -85,10 +86,15 @@ const USAGE: &str = "usage:
       run the (machine-verified) optimization suite and print the
       result; --resilient skips (rather than propagates) failing passes
   cobalt verify [<suite.cob>] [--include-buggy] [--timeout SECS] [--max-splits N]
+                [--journal PATH [--resume|--fresh]]
       prove every optimization sound; with no file, the built-in suite.
       --timeout bounds wall-clock per report; --max-splits caps case
-      splits per proof attempt. exit codes: 0 all proved, 2 unsound,
-      3 resource-limited (inconclusive), 1 other errors
+      splits per proof attempt. --journal records every obligation
+      outcome in a crash-safe proof journal and (by default, or with
+      --resume) replays already-proved obligations from it, so a killed
+      run resumes warm; --fresh discards the journal first. exit codes:
+      0 all proved, 2 unsound, 3 resource-limited (inconclusive),
+      1 other errors
   cobalt lint [<file.il|file.cob>…] [--json] [--deny warn]
       static analysis: named diagnostics (CL0xx for rules, IL0xx for
       programs) without invoking the prover. with no files, lints the
@@ -146,7 +152,7 @@ fn positional(args: &[String]) -> Vec<&str> {
             skip = matches!(
                 a.as_str(),
                 "--arg" | "--passes" | "--rounds" | "--tries" | "--timeout" | "--max-splits"
-                    | "--deny"
+                    | "--deny" | "--journal"
             ) && i + 1 < args.len();
             continue;
         }
@@ -297,12 +303,58 @@ fn verify_policy(args: &[String]) -> Result<RetryPolicy, String> {
     Ok(policy)
 }
 
+/// Builds the verification session for `verify` from `--journal PATH`
+/// and the mutually exclusive `--resume`/`--fresh` mode flags. Both
+/// mode flags require `--journal`; with `--journal` alone the session
+/// resumes (an absent or empty journal resumes to nothing, so this is
+/// always safe). A journal path that cannot be opened is a typed CLI
+/// error (exit 1), not a panic.
+fn verify_session(args: &[String], verifier: Verifier) -> Result<Session, CliError> {
+    let resume = args.iter().any(|a| a == "--resume");
+    let fresh = args.iter().any(|a| a == "--fresh");
+    if resume && fresh {
+        return Err(CliError::general(
+            "verify: --resume and --fresh are mutually exclusive",
+        ));
+    }
+    match flag_value(args, "--journal") {
+        None if resume || fresh => Err(CliError::general(
+            "verify: --resume/--fresh require --journal PATH",
+        )),
+        None => Ok(Session::new(verifier)),
+        Some(path) => {
+            let mode = if fresh {
+                ResumeMode::Fresh
+            } else {
+                ResumeMode::Resume
+            };
+            Session::with_journal(verifier, path, mode).map_err(|e| {
+                CliError::general(format!("verify: opening journal `{path}`: {e}"))
+            })
+        }
+    }
+}
+
 fn cmd_verify(args: &[String]) -> Result<String, CliError> {
     let pos = positional(args);
     let (opts, analyses) = load_suite(pos.first().copied())?;
     let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
         .with_retry_policy(verify_policy(args)?);
+    let mut session = verify_session(args, verifier)?;
     let mut out = String::new();
+    if session.load_report().corrupted() {
+        out.push_str(&format!(
+            "note: journal recovered {} record(s), discarded {} corrupt byte(s){}\n",
+            session.load_report().records,
+            session.load_report().discarded_bytes,
+            session
+                .load_report()
+                .corruption
+                .as_deref()
+                .map(|c| format!(" ({c})"))
+                .unwrap_or_default(),
+        ));
+    }
     let mut unsound = false;
     let mut limited = false;
     let mut note_report = |report: &cobalt::verify::Report, out: &mut String| {
@@ -329,16 +381,16 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
         }
     };
     for a in &analyses {
-        let report = verifier.verify_analysis(a).map_err(|e| e.to_string())?;
+        let report = session.verify_analysis(a).map_err(|e| e.to_string())?;
         note_report(&report, &mut out);
     }
     for o in &opts {
-        let report = verifier.verify_optimization(o).map_err(|e| e.to_string())?;
+        let report = session.verify_optimization(o).map_err(|e| e.to_string())?;
         note_report(&report, &mut out);
     }
     if args.iter().any(|a| a == "--include-buggy") {
         for o in cobalt::opts::buggy_optimizations() {
-            let report = verifier.verify_optimization(&o).map_err(|e| e.to_string())?;
+            let report = session.verify_optimization(&o).map_err(|e| e.to_string())?;
             let rejected = !report.all_proved();
             // A buggy variant that verifies is itself a soundness
             // regression: fail the command.
@@ -355,6 +407,14 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
                 }
             ));
         }
+    }
+    session.finish();
+    if let Some(reason) = session.degraded() {
+        // Journal trouble never fails verification — it degrades to an
+        // uncached run and says so, preserving the exit-code contract.
+        out.push_str(&format!(
+            "note: journaling disabled mid-run ({reason}); verification continued uncached\n"
+        ));
     }
     if unsound {
         Err(CliError {
@@ -623,6 +683,103 @@ mod tests {
             policy.report_deadline,
             Some(std::time::Duration::from_millis(1500))
         );
+    }
+
+    #[test]
+    fn verify_journal_resume_reports_cached_obligations() {
+        let suite = write_tmp(
+            "suite_j.cob",
+            "forward const_prop {
+                stmt(Y := C) followed by !mayDef(Y)
+                until X := Y => X := C
+                with witness eta(Y) == C
+            }",
+        );
+        let journal = std::env::temp_dir().join(format!(
+            "cobalt_cli_journal_{}.cobj",
+            std::process::id()
+        ));
+        std::fs::remove_file(&journal).ok();
+        let j = journal.to_string_lossy().into_owned();
+        // Cold run: everything fresh, no cache note.
+        let cold = run_cli(&["verify".into(), suite.clone(), "--journal".into(), j.clone()])
+            .unwrap();
+        assert!(cold.contains("all optimizations proved sound"), "{cold}");
+        assert!(!cold.contains("cached"), "{cold}");
+        // Warm run (default --journal semantics = resume): all cached.
+        let warm = run_cli(&["verify".into(), suite.clone(), "--journal".into(), j.clone()])
+            .unwrap();
+        assert!(warm.contains("cached, 0 fresh"), "{warm}");
+        // --fresh wipes the cache: back to a cold run.
+        let fresh = run_cli(&[
+            "verify".into(),
+            suite.clone(),
+            "--journal".into(),
+            j.clone(),
+            "--fresh".into(),
+        ])
+        .unwrap();
+        assert!(!fresh.contains("cached"), "{fresh}");
+        std::fs::remove_file(&journal).ok();
+        std::fs::remove_file(suite).ok();
+    }
+
+    #[test]
+    fn verify_journal_flag_errors_are_typed_exit_1() {
+        // Unopenable journal path: typed CLI error, exit 1 — not a
+        // panic, not an unwrap (the file-I/O audit regression).
+        let err = run_cli(&[
+            "verify".into(),
+            "--journal".into(),
+            "/nonexistent-dir/sub/j.cobj".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 1, "{}", err.msg);
+        assert!(err.msg.contains("opening journal"), "{}", err.msg);
+        // Mode flags without --journal, and conflicting mode flags.
+        let err = run_cli(&["verify".into(), "--resume".into()]).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.msg.contains("require --journal"), "{}", err.msg);
+        let err = run_cli(&[
+            "verify".into(),
+            "--journal".into(),
+            "j".into(),
+            "--resume".into(),
+            "--fresh".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.msg.contains("mutually exclusive"), "{}", err.msg);
+    }
+
+    #[test]
+    fn verify_journal_write_fault_degrades_to_uncached() {
+        let suite = write_tmp(
+            "suite_jf.cob",
+            "forward const_prop {
+                stmt(Y := C) followed by !mayDef(Y)
+                until X := Y => X := C
+                with witness eta(Y) == C
+            }",
+        );
+        let journal = std::env::temp_dir().join(format!(
+            "cobalt_cli_journal_fault_{}.cobj",
+            std::process::id()
+        ));
+        std::fs::remove_file(&journal).ok();
+        let out = cobalt_support::fault::with_faults("journal.write:fail@1", || {
+            run_cli(&[
+                "verify".into(),
+                suite.clone(),
+                "--journal".into(),
+                journal.to_string_lossy().into_owned(),
+            ])
+        })
+        .unwrap();
+        assert!(out.contains("journaling disabled mid-run"), "{out}");
+        assert!(out.contains("all optimizations proved sound"), "{out}");
+        std::fs::remove_file(&journal).ok();
+        std::fs::remove_file(suite).ok();
     }
 
     #[test]

@@ -13,12 +13,22 @@ use cobalt::dsl::LabelEnv;
 use cobalt::engine::Engine;
 use cobalt::il::{generate, EvalError, GenConfig, Interp, Program};
 use cobalt::logic::Limits;
-use cobalt::verify::{RetryPolicy, SemanticMeanings, Verifier};
+use cobalt::verify::{ResumeMode, RetryPolicy, SemanticMeanings, Session, Verifier};
 use cobalt_support::fault;
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn verifier() -> Verifier {
     Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
+}
+
+fn scratch_journal(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "cobalt_robustness_{}_{tag}.cobj",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    path
 }
 
 /// Acceptance: under a 50ms per-report deadline the *whole* built-in
@@ -132,6 +142,144 @@ fn prover_panic_is_isolated_to_one_obligation() {
         .all(|o| o.proved);
     assert!(others_proved, "{:#?}", report.outcomes);
     assert!(!report.only_resource_limited_failures());
+}
+
+/// Acceptance (ISSUE 4): a verification run killed mid-suite resumes
+/// from its journal. The kill is simulated the way SIGKILL manifests in
+/// process state — the `Session` is dropped without `finish()`, so the
+/// journal holds the per-obligation records that were appended and
+/// synced but was never compacted. The resumed run replays everything
+/// the dead run proved and only proves the remainder.
+#[test]
+fn kill_mid_run_resume_skips_already_proved_obligations() {
+    let path = scratch_journal("kill_resume");
+    let registry = cobalt::opts::all_optimizations();
+    assert!(registry.len() >= 3, "need several rules to kill between");
+
+    // Run 1 gets through two rules, then the process "dies".
+    let mut killed = Session::with_journal(verifier(), &path, ResumeMode::Resume).unwrap();
+    for opt in &registry[..2] {
+        assert!(killed.verify_optimization(opt).unwrap().all_proved());
+    }
+    drop(killed); // no finish(): no compaction, exactly what a kill leaves
+
+    // Run 2 resumes: the dead run's obligations are cached, the rest
+    // prove fresh, and the suite completes.
+    let mut resumed = Session::with_journal(verifier(), &path, ResumeMode::Resume).unwrap();
+    assert!(
+        !resumed.load_report().corrupted(),
+        "append+sync per outcome leaves a clean journal: {:?}",
+        resumed.load_report()
+    );
+    for (i, opt) in registry.iter().enumerate() {
+        let report = resumed.verify_optimization(opt).unwrap();
+        assert!(report.all_proved(), "{}", report.summary());
+        if i < 2 {
+            assert_eq!(
+                report.cached_count(),
+                report.outcomes.len(),
+                "{}: proved before the kill, must be fully cached: {}",
+                opt.name,
+                report.summary()
+            );
+        } else {
+            assert_eq!(
+                report.cached_count(),
+                0,
+                "{}: never reached before the kill",
+                opt.name
+            );
+        }
+    }
+    resumed.finish();
+    assert!(resumed.degraded().is_none());
+    std::fs::remove_file(&path).ok();
+}
+
+/// A torn write — the tail record half-flushed when the machine died —
+/// is detected, discarded, and re-proved on resume; every record before
+/// the tear is still trusted and replayed.
+#[test]
+fn torn_write_on_kill_is_discarded_and_only_that_obligation_reproves() {
+    let path = scratch_journal("torn");
+    let registry = cobalt::opts::all_optimizations();
+
+    let mut killed = Session::with_journal(verifier(), &path, ResumeMode::Resume).unwrap();
+    for opt in &registry[..2] {
+        assert!(killed.verify_optimization(opt).unwrap().all_proved());
+    }
+    drop(killed);
+
+    // Tear the final record: chop three bytes off the file tail.
+    let len = std::fs::metadata(&path).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    file.set_len(len - 3).unwrap();
+    drop(file);
+
+    let mut resumed = Session::with_journal(verifier(), &path, ResumeMode::Resume).unwrap();
+    assert!(
+        resumed.load_report().corrupted(),
+        "the tear must be reported: {:?}",
+        resumed.load_report()
+    );
+    // Rule 0's records all predate the tear: fully cached.
+    let first = resumed.verify_optimization(&registry[0]).unwrap();
+    assert!(first.all_proved());
+    assert_eq!(first.cached_count(), first.outcomes.len(), "{}", first.summary());
+    // Rule 1 lost exactly its final record to the tear: one obligation
+    // re-proves, the rest replay.
+    let second = resumed.verify_optimization(&registry[1]).unwrap();
+    assert!(second.all_proved(), "{}", second.summary());
+    assert_eq!(
+        second.cached_count(),
+        second.outcomes.len() - 1,
+        "exactly the torn record re-proves: {}",
+        second.summary()
+    );
+    assert!(
+        !second.outcomes.last().unwrap().cached,
+        "the torn record was the last obligation journaled"
+    );
+    resumed.finish();
+
+    // After finish() the journal is compacted and clean again.
+    let clean = Session::with_journal(verifier(), &path, ResumeMode::Resume).unwrap();
+    assert!(!clean.load_report().corrupted(), "{:?}", clean.load_report());
+    std::fs::remove_file(&path).ok();
+}
+
+/// A journal write failure mid-run degrades the session to uncached
+/// verification without corrupting what was already durable: the next
+/// run still loads every record written before the fault.
+#[test]
+fn journal_write_fault_degrades_session_but_preserves_durable_records() {
+    let path = scratch_journal("write_fault");
+    let registry = cobalt::opts::all_optimizations();
+
+    let mut session = Session::with_journal(verifier(), &path, ResumeMode::Resume).unwrap();
+    let reports: Vec<_> = fault::with_faults("journal.write:fail@3", || {
+        registry
+            .iter()
+            .map(|opt| session.verify_optimization(opt).unwrap())
+            .collect()
+    });
+    // Verification itself is unharmed...
+    for report in &reports {
+        assert!(report.all_proved(), "{}", report.summary());
+    }
+    // ...but journaling shut down at the third append.
+    let reason = session.degraded().expect("write fault must degrade").to_string();
+    assert!(reason.contains("injected fault"), "{reason}");
+    session.finish();
+
+    let resumed = Session::with_journal(verifier(), &path, ResumeMode::Resume).unwrap();
+    assert!(!resumed.load_report().corrupted(), "{:?}", resumed.load_report());
+    assert_eq!(
+        resumed.load_report().records,
+        2,
+        "the two appends before the fault survive"
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 /// E7-style semantic check: whenever the original returns a value, the

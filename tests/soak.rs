@@ -14,6 +14,8 @@
 use cobalt::dsl::LabelEnv;
 use cobalt::engine::Engine;
 use cobalt::il::{generate, EvalError, GenConfig, Interp};
+use cobalt::verify::{ResumeMode, SemanticMeanings, Session, Verifier};
+use cobalt_support::rng::Rng;
 
 #[test]
 #[ignore = "soak test: minutes of CPU; run explicitly"]
@@ -55,4 +57,81 @@ fn differential_soak() {
     }
     println!("soak: {checked}/{runs} runs produced values; all preserved");
     assert!(checked > runs / 3, "generator health check");
+}
+
+/// Crash/resume soak (ISSUE 4): hundreds of rounds of killing a
+/// verification session at a random point — sometimes also tearing or
+/// bit-flipping the journal tail, as a dying machine would — and
+/// resuming. Every resume must load without panicking, never trust a
+/// damaged record, and finish the suite; once a round completes
+/// cleanly, the next full run must be entirely cached.
+#[test]
+#[ignore = "soak test: minutes of CPU; run explicitly"]
+fn journal_crash_resume_soak() {
+    let path = std::env::temp_dir().join(format!(
+        "cobalt_soak_journal_{}.cobj",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    let registry = cobalt::opts::all_optimizations();
+    let verifier = || Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
+    let mut rng = Rng::seed_from_u64(0xC0BA17);
+    let mut kills = 0u32;
+    let mut tears = 0u32;
+    let mut flips = 0u32;
+
+    for round in 0..300u32 {
+        // Run the suite, dying after a random number of rules.
+        let survive = rng.gen_range(0..=registry.len());
+        let mut session = Session::with_journal(verifier(), &path, ResumeMode::Resume)
+            .unwrap_or_else(|e| panic!("round {round}: journal must always open: {e}"));
+        for opt in &registry[..survive] {
+            let report = session.verify_optimization(opt).unwrap();
+            assert!(report.all_proved(), "round {round}: {}", report.summary());
+        }
+        if survive == registry.len() {
+            session.finish();
+            assert!(session.degraded().is_none(), "round {round}");
+            // A completed journal warms the very next full run entirely.
+            let mut warm = Session::with_journal(verifier(), &path, ResumeMode::Resume).unwrap();
+            for opt in &registry {
+                let report = warm.verify_optimization(opt).unwrap();
+                assert_eq!(
+                    report.cached_count(),
+                    report.outcomes.len(),
+                    "round {round}: {}",
+                    report.summary()
+                );
+            }
+            warm.finish();
+        } else {
+            kills += 1;
+            drop(session); // the kill: no finish, no compaction
+        }
+
+        // Occasionally damage the tail the way dying hardware does.
+        let len = std::fs::metadata(&path).unwrap().len();
+        match rng.gen_range(0u32..4) {
+            0 if len > 4 => {
+                tears += 1;
+                let cut = len - rng.gen_range(1..=4.min(len));
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .unwrap()
+                    .set_len(cut)
+                    .unwrap();
+            }
+            1 if len > 0 => {
+                flips += 1;
+                let mut bytes = std::fs::read(&path).unwrap();
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] ^= 1u8 << rng.gen_range(0u32..8);
+                std::fs::write(&path, bytes).unwrap();
+            }
+            _ => {}
+        }
+    }
+    println!("journal soak: 300 rounds, {kills} kills, {tears} tears, {flips} flips survived");
+    std::fs::remove_file(&path).ok();
 }
