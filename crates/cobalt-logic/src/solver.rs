@@ -331,8 +331,16 @@ impl Solver {
     /// check, reporting a resource-limit [`Outcome::Unknown`].
     pub fn cancel_flag(&mut self) -> Arc<AtomicBool> {
         let flag = Arc::new(AtomicBool::new(false));
-        self.budget.cancel = Some(flag.clone());
+        self.install_cancel(flag.clone());
         flag
+    }
+
+    /// Installs an externally shared cancel flag (e.g. a worker pool's
+    /// fail-fast token), leaving the rest of the budget untouched.
+    /// Unlike [`cancel_flag`](Self::cancel_flag), many solvers may
+    /// share one flag: tripping it stands every one of them down.
+    pub fn install_cancel(&mut self, flag: Arc<AtomicBool>) {
+        self.budget.cancel = Some(flag);
     }
 
     /// The distinguished "true" constant used to encode predicates.
@@ -372,6 +380,35 @@ impl Solver {
                     self.limits.max_terms,
                     self.bank.len()
                 ),
+                kind: UnknownKind::ResourceLimit,
+                open_branch: Vec::new(),
+                stats: Stats::default(),
+                elapsed: start.elapsed(),
+            };
+        }
+        // A cancelled or zero-budget call must not start a tableau at
+        // all: NNF conversion and the congruence-closure sync below do
+        // real work proportional to the obligation, and a parallel
+        // sibling that tripped our cancel flag expects us to stand down
+        // now, not after the meter's first in-search check.
+        if let Some(flag) = &self.budget.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Outcome::Unknown {
+                    reason: "cancelled by caller before search began".into(),
+                    kind: UnknownKind::ResourceLimit,
+                    open_branch: Vec::new(),
+                    stats: Stats::default(),
+                    elapsed: start.elapsed(),
+                };
+            }
+        }
+        let effective_deadline = match (self.limits.deadline, self.budget.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if effective_deadline.is_some_and(|d| d <= start.elapsed()) {
+            return Outcome::Unknown {
+                reason: "deadline exceeded before search began".into(),
                 kind: UnknownKind::ResourceLimit,
                 open_branch: Vec::new(),
                 stats: Stats::default(),
@@ -1357,6 +1394,45 @@ mod tests {
         if let Outcome::Unknown { reason, .. } = &out {
             assert!(reason.contains("cancelled"), "{reason}");
         }
+    }
+
+    #[test]
+    fn cancelled_solver_never_starts_a_tableau() {
+        // Regression: a pre-tripped cancel flag (a parallel sibling
+        // found an unsound obligation) must fast-fail before NNF and
+        // congruence-closure setup, like the zero-deadline path.
+        let mut s = Solver::new();
+        let flag = s.cancel_flag();
+        flag.store(true, Ordering::Relaxed);
+        // A provable goal: only the fast-fail can explain an Unknown.
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        let out = s.prove(&ProofTask {
+            hypotheses: vec![Formula::Eq(x, y)],
+            goal: Formula::Eq(y, x),
+        });
+        assert!(out.is_resource_limited(), "{out:?}");
+        let Outcome::Unknown { reason, stats, .. } = out else {
+            panic!("expected Unknown");
+        };
+        assert!(reason.contains("cancelled by caller before search"), "{reason}");
+        assert_eq!(stats, Stats::default(), "no search work may have happened");
+    }
+
+    #[test]
+    fn expired_deadline_never_starts_a_tableau() {
+        let mut s = Solver::new();
+        s.set_budget(Budget::with_deadline(Duration::ZERO));
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        let out = s.prove(&ProofTask {
+            hypotheses: vec![Formula::Eq(x, y)],
+            goal: Formula::Eq(y, x),
+        });
+        assert!(out.is_resource_limited(), "{out:?}");
+        let Outcome::Unknown { reason, stats, .. } = out else {
+            panic!("expected Unknown");
+        };
+        assert!(reason.contains("before search began"), "{reason}");
+        assert_eq!(stats, Stats::default());
     }
 
     #[test]

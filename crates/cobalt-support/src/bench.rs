@@ -137,7 +137,47 @@ pub struct Stats {
 }
 
 impl Stats {
-    fn json(&self) -> String {
+    /// A single-measurement `Stats`: one wall-clock observation of one
+    /// run, for ad-hoc `BENCH_JSON` datapoints emitted outside the
+    /// sampling harness (e.g. an example timing its own end-to-end
+    /// work). All percentile fields collapse to the one measurement.
+    pub fn single(name: impl Into<String>, elapsed: Duration, throughput: Option<Throughput>) -> Self {
+        let ns = elapsed.as_secs_f64() * 1e9;
+        Stats {
+            name: name.into(),
+            samples: 1,
+            iters_per_sample: 1,
+            median_ns: ns,
+            p95_ns: ns,
+            mean_ns: ns,
+            min_ns: ns,
+            throughput,
+        }
+    }
+
+    /// Emits this result exactly as the harness would: a `BENCH_JSON`
+    /// line on stdout, plus an appended line to the file named by
+    /// `COBALT_BENCH_JSON` if set (failures to append warn, never
+    /// error — a bench datapoint must not fail the run).
+    pub fn emit(&self) {
+        println!("BENCH_JSON {}", self.json());
+        if let Some(path) = std::env::var_os("COBALT_BENCH_JSON") {
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| writeln!(f, "{}", self.json()));
+            if let Err(e) = appended {
+                eprintln!(
+                    "warning: cannot append to {}: {e}",
+                    std::path::Path::new(&path).display()
+                );
+            }
+        }
+    }
+
+    /// This result as a one-line JSON object (the `BENCH_JSON` payload).
+    pub fn json(&self) -> String {
         let mut s = format!(
             "{{\"name\":{:?},\"samples\":{},\"iters_per_sample\":{},\
              \"median_ns\":{:.1},\"p95_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1}",
@@ -492,6 +532,21 @@ mod tests {
             b.iter(|| calls += 1);
         });
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn single_measurement_stats_collapse_percentiles() {
+        let stats = Stats::single(
+            "prove_all/registry/jobs=4",
+            Duration::from_millis(250),
+            Some(Throughput::Elements(70)),
+        );
+        assert_eq!(stats.samples, 1);
+        assert_eq!(stats.median_ns, stats.p95_ns);
+        assert_eq!(stats.median_ns, 250_000_000.0);
+        let json = stats.json();
+        assert!(json.contains("\"elements\":70"), "{json}");
+        assert!(json.contains("elements_per_sec"), "{json}");
     }
 
     #[test]

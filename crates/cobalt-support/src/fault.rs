@@ -41,7 +41,7 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// The environment variable holding the fault configuration.
@@ -167,7 +167,49 @@ fn armed() -> bool {
 static OVERRIDES_ACTIVE: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
-    static OVERRIDE: RefCell<Option<Vec<FaultSpec>>> = const { RefCell::new(None) };
+    static OVERRIDE: RefCell<Option<Arc<Vec<FaultSpec>>>> = const { RefCell::new(None) };
+}
+
+/// A shareable handle to a thread's active fault override, captured
+/// with [`capture_overrides`] and re-installed on another thread with
+/// [`with_overrides`]. Worker pools use this to make a test's scoped
+/// [`with_faults`] configuration visible inside their worker threads:
+/// the hit counters live behind the shared `Arc`, so `panic@n`/`fail@n`
+/// still fire exactly once *globally*, no matter which worker reaches
+/// the site.
+#[derive(Debug, Clone)]
+pub struct OverrideHandle(Arc<Vec<FaultSpec>>);
+
+/// Captures the calling thread's active fault override, if any.
+/// Returns `None` outside [`with_faults`]/[`with_overrides`] scopes —
+/// the environment configuration needs no capturing, every thread
+/// already sees it.
+pub fn capture_overrides() -> Option<OverrideHandle> {
+    OVERRIDE.with(|o| o.borrow().clone().map(OverrideHandle))
+}
+
+/// Runs `f` with a captured override installed on *this* thread,
+/// restoring the previous configuration afterwards (also on panic).
+/// With `handle == None` this is just `f()`.
+pub fn with_overrides<R>(handle: Option<&OverrideHandle>, f: impl FnOnce() -> R) -> R {
+    match handle {
+        None => f(),
+        Some(h) => install(h.0.clone(), f),
+    }
+}
+
+fn install<R>(specs: Arc<Vec<FaultSpec>>, f: impl FnOnce() -> R) -> R {
+    struct Guard(Option<Arc<Vec<FaultSpec>>>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| *o.borrow_mut() = self.0.take());
+            OVERRIDES_ACTIVE.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    OVERRIDES_ACTIVE.fetch_add(1, Ordering::Relaxed);
+    let prev = OVERRIDE.with(|o| o.borrow_mut().replace(specs));
+    let _guard = Guard(prev);
+    f()
 }
 
 /// Runs `f` with the given fault specification active *on this thread
@@ -180,17 +222,7 @@ thread_local! {
 /// Panics immediately if `spec` does not parse; see [`parse`].
 pub fn with_faults<R>(spec: &str, f: impl FnOnce() -> R) -> R {
     let parsed = parse(spec).unwrap_or_else(|e| panic!("with_faults: {e}"));
-    struct Guard(Option<Vec<FaultSpec>>);
-    impl Drop for Guard {
-        fn drop(&mut self) {
-            OVERRIDE.with(|o| *o.borrow_mut() = self.0.take());
-            OVERRIDES_ACTIVE.fetch_sub(1, Ordering::Relaxed);
-        }
-    }
-    OVERRIDES_ACTIVE.fetch_add(1, Ordering::Relaxed);
-    let prev = OVERRIDE.with(|o| o.borrow_mut().replace(parsed));
-    let _guard = Guard(prev);
-    f()
+    install(Arc::new(parsed), f)
 }
 
 /// What happened at a fault point.
@@ -338,6 +370,25 @@ mod tests {
         // Back outside: the same site is disarmed again.
         point("t.scoped");
         assert!(point_err("t.scoped").is_ok());
+    }
+
+    #[test]
+    fn captured_overrides_share_hit_counters_across_threads() {
+        with_faults("t.cap:fail@2", || {
+            let handle = capture_overrides().expect("inside with_faults");
+            assert!(point_err("t.cap").is_ok(), "hit 1 on the origin thread");
+            let worker = {
+                let handle = handle.clone();
+                std::thread::spawn(move || {
+                    with_overrides(Some(&handle), || point_err("t.cap"))
+                })
+            };
+            // Hit 2 fires on the worker: the counter is shared, not
+            // per-thread.
+            assert!(worker.join().unwrap().is_err());
+            assert!(point_err("t.cap").is_ok(), "hit 3: already fired");
+        });
+        assert!(capture_overrides().is_none(), "no override outside the scope");
     }
 
     #[test]

@@ -32,17 +32,36 @@
 //! via a temp file + rename, so a crash mid-compaction leaves either
 //! the old journal or the new one, never a half-written hybrid.
 //!
+//! # Cross-process sharing
+//!
+//! [`Journal::open_locked`] additionally takes an **advisory exclusive
+//! lock** (BSD `flock` semantics via `std::fs::File::try_lock`) on the
+//! journal file, so several `cobalt verify --journal same-path`
+//! processes can point at one journal without interleaving half-frames:
+//! exactly one holds the journal at a time, the rest time out after a
+//! bounded wait and degrade to uncached verification. The lock follows
+//! the open file description, so it survives [`Journal::compact`]'s
+//! rename (the replacement temp file is locked *before* the rename, and
+//! exclusivity is handed over with the handle). Because a competing
+//! process may compact (rename over) the path between our `open` and
+//! our `try_lock`, acquisition re-verifies that the locked handle still
+//! names the path's inode and reopens if not.
+//!
 //! # Fault points
 //!
 //! `journal.load`, `journal.write`, and `journal.fsync` are
 //! [`fault`](crate::fault) sites (`fail` actions surface as
 //! `io::Error`), so callers' degradation paths are testable:
-//! `COBALT_FAULTS=journal.write:fail@1`.
+//! `COBALT_FAULTS=journal.write:fail@1`. `journal.lock` is special: a
+//! `fail` action simulates lock *contention* (an immediate
+//! [`LockOutcome::Contended`]), not an I/O error, because contention is
+//! the interesting degradation to rehearse.
 
 use crate::fault;
-use std::fs::{File, OpenOptions};
+use std::fs::{File, OpenOptions, TryLockError};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// The 8-byte magic prefix identifying a journal file (and its format
 /// version — bump the trailing digit on incompatible changes).
@@ -132,6 +151,24 @@ pub struct Opened {
     pub report: LoadReport,
 }
 
+/// The result of a deadline-bounded locked open: either the journal
+/// (with the advisory exclusive lock held for its lifetime) or a report
+/// that another holder kept the lock for the whole wait.
+#[derive(Debug)]
+pub enum LockOutcome {
+    /// The lock was acquired; the journal is exclusively ours until
+    /// dropped.
+    Acquired(Opened),
+    /// Another process (or handle) held the lock past the deadline, or
+    /// an injected `journal.lock` fault simulated that. The caller
+    /// should degrade per the PR 4 contract: verify uncached, change no
+    /// verdict.
+    Contended {
+        /// Why acquisition gave up, for the caller's note to the user.
+        reason: String,
+    },
+}
+
 /// An append-only journal of checksummed records. See the
 /// [module docs](self) for the format and crash-safety contract.
 #[derive(Debug)]
@@ -141,12 +178,16 @@ pub struct Journal {
     /// End of the last good record (including the magic header); the
     /// next append goes here.
     valid_len: u64,
+    /// Whether this handle holds the advisory exclusive lock (and must
+    /// hand it over across compaction renames).
+    locked: bool,
 }
 
 impl Journal {
     /// Opens (creating if absent) the journal at `path`, recovering
     /// every intact record and truncating any corrupt tail so the file
-    /// is immediately appendable again.
+    /// is immediately appendable again. Takes no lock; for
+    /// cross-process sharing use [`Journal::open_locked`].
     ///
     /// # Errors
     ///
@@ -157,38 +198,71 @@ impl Journal {
     pub fn open(path: impl AsRef<Path>) -> io::Result<Opened> {
         let path = path.as_ref().to_path_buf();
         fault::point_err("journal.load").map_err(fault_io)?;
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
-        let (records, valid_len, report) = scan(&bytes);
-        // Repair: drop the corrupt tail now so the invariant "the file
-        // ends at a record boundary" holds for every append.
-        if (bytes.len() as u64) > valid_len {
-            file.set_len(valid_len)?;
+        let file = open_file(&path)?;
+        load(path, file, false)
+    }
+
+    /// Opens the journal at `path` under an **advisory exclusive lock**,
+    /// waiting up to `lock_wait` for a competing holder to release it.
+    ///
+    /// On [`LockOutcome::Acquired`] the lock is held until the journal
+    /// is dropped (it follows the file handle, including across
+    /// [`Journal::compact`]'s rename). On [`LockOutcome::Contended`]
+    /// nothing is held and nothing was modified; the caller degrades.
+    /// The wait polls `try_lock` rather than blocking indefinitely so
+    /// a wedged holder can never wedge us past the deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `io::Error` for filesystem failures (including an
+    /// injected `journal.load` fault). Lock *contention* is not an
+    /// error, and an injected `journal.lock` fault is surfaced as
+    /// contention, not as `Err`.
+    pub fn open_locked(path: impl AsRef<Path>, lock_wait: Duration) -> io::Result<LockOutcome> {
+        let path = path.as_ref().to_path_buf();
+        fault::point_err("journal.load").map_err(fault_io)?;
+        if let Err(e) = fault::point_err("journal.lock") {
+            return Ok(LockOutcome::Contended {
+                reason: format!("simulated lock contention ({e})"),
+            });
         }
-        let mut journal = Journal {
-            path,
-            file,
-            valid_len,
-        };
-        if journal.valid_len == 0 {
-            journal.write_magic()?;
+        let deadline = Instant::now() + lock_wait;
+        // Outer loop: reopen when the path was renamed-over (a
+        // competing holder compacted) between our open and our lock.
+        loop {
+            let file = open_file(&path)?;
+            loop {
+                match file.try_lock() {
+                    Ok(()) => break,
+                    Err(TryLockError::WouldBlock) => {
+                        if Instant::now() >= deadline {
+                            return Ok(LockOutcome::Contended {
+                                reason: format!(
+                                    "another process held the journal lock for {lock_wait:?}"
+                                ),
+                            });
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(TryLockError::Error(e)) => return Err(e),
+                }
+            }
+            if same_inode(&file, &path)? {
+                return load(path, file, true).map(LockOutcome::Acquired);
+            }
+            // Stale inode: the lock we won is on an unlinked file.
+            // Drop it (releasing the lock) and race again.
         }
-        Ok(Opened {
-            journal,
-            records,
-            report,
-        })
     }
 
     /// The journal's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Whether this handle holds the advisory exclusive lock.
+    pub fn is_locked(&self) -> bool {
+        self.locked
     }
 
     /// Appends one record (length + FNV-64 checksum + payload).
@@ -238,6 +312,7 @@ impl Journal {
     pub fn compact<P: AsRef<[u8]>>(&mut self, records: &[P]) -> io::Result<()> {
         fault::point_err("journal.write").map_err(fault_io)?;
         let tmp_path = tmp_sibling(&self.path);
+        let locked = self.locked;
         let result = (|| -> io::Result<(File, u64)> {
             let mut tmp = OpenOptions::new()
                 .read(true)
@@ -260,6 +335,14 @@ impl Journal {
                 buf.extend_from_slice(payload);
             }
             tmp.write_all(&buf)?;
+            if locked {
+                // Lock the replacement *before* it becomes the journal,
+                // so exclusivity never lapses across the rename: a
+                // competitor that opens the path pre-rename locks a
+                // doomed inode (and re-verifies, per `open_locked`); one
+                // that opens it post-rename finds it already locked.
+                tmp.lock()?;
+            }
             fault::point_err("journal.fsync").map_err(fault_io)?;
             tmp.sync_data()?;
             std::fs::rename(&tmp_path, &self.path)?;
@@ -286,6 +369,60 @@ impl Journal {
         self.valid_len = MAGIC.len() as u64;
         Ok(())
     }
+}
+
+/// Opens (creating if absent, never truncating) the journal file.
+fn open_file(path: &Path) -> io::Result<File> {
+    OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)
+}
+
+/// Reads, scans, and repairs an already-opened journal file, producing
+/// the [`Opened`] handle.
+fn load(path: PathBuf, mut file: File, locked: bool) -> io::Result<Opened> {
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let (records, valid_len, report) = scan(&bytes);
+    // Repair: drop the corrupt tail now so the invariant "the file
+    // ends at a record boundary" holds for every append.
+    if (bytes.len() as u64) > valid_len {
+        file.set_len(valid_len)?;
+    }
+    let mut journal = Journal {
+        path,
+        file,
+        valid_len,
+        locked,
+    };
+    if journal.valid_len == 0 {
+        journal.write_magic()?;
+    }
+    Ok(Opened {
+        journal,
+        records,
+        report,
+    })
+}
+
+/// Whether the open handle still names the same file as `path` — false
+/// when a competing compaction renamed a replacement over the path
+/// between our `open` and our lock acquisition.
+#[cfg(unix)]
+fn same_inode(file: &File, path: &Path) -> io::Result<bool> {
+    use std::os::unix::fs::MetadataExt;
+    let handle = file.metadata()?;
+    let on_disk = std::fs::metadata(path)?;
+    Ok(handle.ino() == on_disk.ino() && handle.dev() == on_disk.dev())
+}
+
+/// Non-Unix fallback: no inode identity to compare; trust the handle.
+#[cfg(not(unix))]
+fn same_inode(_file: &File, _path: &Path) -> io::Result<bool> {
+    Ok(true)
 }
 
 /// Scans raw journal bytes, returning the intact payloads, the byte
@@ -508,6 +645,102 @@ mod tests {
         drop(opened);
         let reloaded = Journal::open(&path).unwrap();
         assert_eq!(reloaded.records, vec![b"real".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lock_is_exclusive_within_and_across_handles() {
+        // flock is per open file description, so two handles in one
+        // process contend exactly like two processes do.
+        let path = tmp("lock_excl");
+        std::fs::remove_file(&path).ok();
+        let holder = match Journal::open_locked(&path, Duration::ZERO).unwrap() {
+            LockOutcome::Acquired(o) => o,
+            LockOutcome::Contended { reason } => panic!("fresh file contended: {reason}"),
+        };
+        assert!(holder.journal.is_locked());
+        match Journal::open_locked(&path, Duration::from_millis(20)).unwrap() {
+            LockOutcome::Contended { reason } => {
+                assert!(reason.contains("held the journal lock"), "{reason}")
+            }
+            LockOutcome::Acquired(_) => panic!("lock was not exclusive"),
+        }
+        // Unlocked open still works (advisory locks don't block I/O) —
+        // the discipline is the caller's, which is why Session always
+        // goes through open_locked.
+        assert!(Journal::open(&path).is_ok());
+        drop(holder);
+        match Journal::open_locked(&path, Duration::ZERO).unwrap() {
+            LockOutcome::Acquired(o) => assert!(o.journal.is_locked()),
+            LockOutcome::Contended { reason } => panic!("lock not released on drop: {reason}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lock_wait_outlasts_a_short_holder() {
+        let path = tmp("lock_wait");
+        std::fs::remove_file(&path).ok();
+        let holder = match Journal::open_locked(&path, Duration::ZERO).unwrap() {
+            LockOutcome::Acquired(o) => o,
+            LockOutcome::Contended { .. } => unreachable!(),
+        };
+        let path2 = path.clone();
+        let waiter = std::thread::spawn(move || {
+            Journal::open_locked(&path2, Duration::from_secs(5)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(holder);
+        match waiter.join().unwrap() {
+            LockOutcome::Acquired(_) => {}
+            LockOutcome::Contended { reason } => panic!("waiter should win the lock: {reason}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lock_survives_compaction_rename() {
+        let path = tmp("lock_compact");
+        std::fs::remove_file(&path).ok();
+        let mut holder = match Journal::open_locked(&path, Duration::ZERO).unwrap() {
+            LockOutcome::Acquired(o) => o,
+            LockOutcome::Contended { .. } => unreachable!(),
+        };
+        holder.journal.append(b"pre").unwrap();
+        holder.journal.compact(&[b"kept".as_slice()]).unwrap();
+        assert!(holder.journal.is_locked());
+        // The path's current inode (the renamed replacement) is locked:
+        // a competitor still times out.
+        match Journal::open_locked(&path, Duration::from_millis(20)).unwrap() {
+            LockOutcome::Contended { .. } => {}
+            LockOutcome::Acquired(_) => panic!("exclusivity lapsed across compaction"),
+        }
+        holder.journal.append(b"post").unwrap();
+        drop(holder);
+        let reloaded = Journal::open(&path).unwrap();
+        assert_eq!(reloaded.records, vec![b"kept".to_vec(), b"post".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lock_fault_simulates_contention_not_io_error() {
+        let path = tmp("lock_fault");
+        std::fs::remove_file(&path).ok();
+        let outcome = fault::with_faults("journal.lock:fail@1", || {
+            Journal::open_locked(&path, Duration::from_secs(5))
+        })
+        .unwrap();
+        match outcome {
+            LockOutcome::Contended { reason } => {
+                assert!(reason.contains("simulated lock contention"), "{reason}")
+            }
+            LockOutcome::Acquired(_) => panic!("fault should have contended"),
+        }
+        // The fault fired once; a retry acquires normally.
+        match Journal::open_locked(&path, Duration::ZERO).unwrap() {
+            LockOutcome::Acquired(_) => {}
+            LockOutcome::Contended { .. } => panic!("second attempt should acquire"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -17,8 +17,12 @@
 //!   graceful-degradation paths; off by default with near-zero cost;
 //! * [`journal`] — a crash-safe, corruption-tolerant append-only record
 //!   journal (length + FNV-64 checksum framing, truncation/bit-flip
-//!   recovery, atomic temp-file+rename compaction) backing resumable
-//!   verification sessions.
+//!   recovery, atomic temp-file+rename compaction, advisory cross-process
+//!   locking) backing resumable verification sessions;
+//! * [`pool`] — a supervised scoped worker pool (ordered result
+//!   delivery, per-task panic isolation with one supervised retry,
+//!   cooperative cancellation, spawn-failure degradation) backing
+//!   parallel obligation discharge.
 //!
 //! The workspace's hermetic-build policy (see `DESIGN.md`) forbids
 //! external registry dependencies so that `cargo build --release
@@ -31,6 +35,7 @@
 pub mod bench;
 pub mod fault;
 pub mod journal;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 

@@ -16,6 +16,7 @@ use crate::oblig::{obligations_for_analysis, obligations_for_optimization, Prepa
 use cobalt_dsl::{LabelEnv, Optimization, PureAnalysis};
 use cobalt_logic::{clamp_context, Limits, Outcome};
 use cobalt_support::fault;
+use cobalt_support::pool::{self, Cancel, TaskResult};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -230,16 +231,19 @@ pub struct Verifier {
     pub(crate) env: LabelEnv,
     pub(crate) meanings: SemanticMeanings,
     pub(crate) policy: RetryPolicy,
+    pub(crate) jobs: usize,
 }
 
 impl Verifier {
     /// Creates a checker with the given label environment and semantic
-    /// label meanings, using the default [`RetryPolicy`].
+    /// label meanings, using the default [`RetryPolicy`] and sequential
+    /// (single-job) discharge.
     pub fn new(env: LabelEnv, meanings: SemanticMeanings) -> Self {
         Verifier {
             env,
             meanings,
             policy: RetryPolicy::default(),
+            jobs: 1,
         }
     }
 
@@ -255,6 +259,22 @@ impl Verifier {
         self
     }
 
+    /// Sets how many worker threads [`discharge_all`](Self::discharge_all)
+    /// may use. `0` and `1` both mean sequential discharge on the
+    /// calling thread (the default, byte-for-byte the pre-parallel
+    /// behaviour); higher values fan obligations out across a
+    /// supervised pool while preserving report order, verdicts, and
+    /// per-obligation retry escalation.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured worker count (≥ 1).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
     /// Attempts to prove an optimization sound.
     ///
     /// # Errors
@@ -266,7 +286,7 @@ impl Verifier {
             cobalt_lint::lint_optimization(opt, ctx, opts)
         })?;
         let prepared = obligations_for_optimization(opt, &self.env, &self.meanings)?;
-        Ok(self.run(opt.name.clone(), prepared))
+        Ok(self.discharge_all(opt.name.clone(), prepared))
     }
 
     /// The fast pre-verification gate (DESIGN.md §9): structural lints
@@ -314,7 +334,7 @@ impl Verifier {
             cobalt_lint::lint_analysis(analysis, ctx, opts)
         })?;
         let prepared = obligations_for_analysis(analysis, &self.env, &self.meanings)?;
-        Ok(self.run(analysis.name.clone(), prepared))
+        Ok(self.discharge_all(analysis.name.clone(), prepared))
     }
 
     /// Verifies a pure analysis and, on success, registers its label's
@@ -354,16 +374,25 @@ impl Verifier {
         Ok(report)
     }
 
-    fn run(&self, name: String, prepared: Vec<Prepared>) -> Report {
+    /// Discharges a prepared obligation set into a [`Report`], using
+    /// the configured number of [`jobs`](Self::with_jobs).
+    ///
+    /// The parallel contract: outcomes appear in obligation order
+    /// regardless of completion order, each obligation keeps its full
+    /// [`RetryPolicy`] escalation, the report deadline fans out through
+    /// every worker's prover budget, and the first outcome that is
+    /// evidence of unsoundness (open branch or prover panic — not a
+    /// mere resource limit) trips a shared cancel flag so siblings
+    /// stand down; cancelled obligations report as resource-limited,
+    /// never as proved.
+    pub fn discharge_all(&self, name: String, prepared: Vec<Prepared>) -> Report {
         let start = Instant::now();
         let report_deadline = self
             .policy
             .report_deadline
             .and_then(|d| start.checked_add(d));
-        let mut outcomes = Vec::new();
-        for p in prepared {
-            outcomes.push(self.discharge(p, report_deadline));
-        }
+        let items = prepared.into_iter().map(|p| (p, 0)).collect();
+        let outcomes = self.discharge_batch(items, report_deadline, |_, _| {});
         Report {
             name,
             outcomes,
@@ -371,22 +400,92 @@ impl Verifier {
         }
     }
 
-    /// Runs one obligation through the retry schedule, isolating prover
-    /// panics.
-    fn discharge(&self, p: Prepared, report_deadline: Option<Instant>) -> ObligationOutcome {
-        self.discharge_from(p, report_deadline, 0)
+    /// Discharges `(obligation, start_tier)` pairs, delivering each
+    /// outcome to `sink` **in obligation order** as soon as it and all
+    /// its predecessors are done (a [`crate::Session`] journals from
+    /// the sink, so the journal's append order matches sequential
+    /// mode), and returns the ordered outcomes.
+    ///
+    /// With `jobs <= 1` this is the plain sequential loop — no pool, no
+    /// cancel flag, no `pool.*` fault sites — keeping the default path
+    /// behaviorally identical to the pre-parallel checker.
+    pub(crate) fn discharge_batch(
+        &self,
+        items: Vec<(Prepared, usize)>,
+        report_deadline: Option<Instant>,
+        mut sink: impl FnMut(usize, &ObligationOutcome),
+    ) -> Vec<ObligationOutcome> {
+        if self.jobs <= 1 || items.len() <= 1 {
+            let mut outcomes = Vec::with_capacity(items.len());
+            for (idx, (p, start_tier)) in items.into_iter().enumerate() {
+                let outcome = self.discharge_from(p, report_deadline, start_tier, None);
+                sink(idx, &outcome);
+                outcomes.push(outcome);
+            }
+            return outcomes;
+        }
+        // Ids survive outside the slots so a task that dies twice (the
+        // supervised-retry budget) still yields a named outcome.
+        let ids: Vec<String> = items.iter().map(|(p, _)| p.id.clone()).collect();
+        let slots: Vec<(Option<Prepared>, usize)> = items
+            .into_iter()
+            .map(|(p, tier)| (Some(p), tier))
+            .collect();
+        let cancel = Cancel::new();
+        let mut outcomes: Vec<ObligationOutcome> = Vec::with_capacity(slots.len());
+        pool::run_ordered(
+            self.jobs,
+            slots,
+            &cancel,
+            |_, (slot, start_tier), cancel| {
+                // The slot is empty only if a previous execution of this
+                // task panicked *after* taking the obligation — possible
+                // for a mid-discharge worker casualty, impossible for
+                // the `pool.task` fault (which fires before pickup).
+                let Some(mut p) = slot.take() else {
+                    return None;
+                };
+                p.solver.install_cancel(cancel.flag());
+                let outcome =
+                    self.discharge_from(p, report_deadline, *start_tier, Some(cancel));
+                if !outcome.proved && !outcome.resource_limited {
+                    // Open branch or prover panic: evidence of
+                    // unsoundness. Fail fast — siblings stand down at
+                    // their next budget check.
+                    cancel.trip();
+                }
+                Some(outcome)
+            },
+            |idx, result| {
+                let outcome = match result {
+                    TaskResult::Done(Some(outcome)) => outcome,
+                    TaskResult::Done(None) => {
+                        panicked_outcome(&ids[idx], "obligation lost to a worker crash")
+                    }
+                    TaskResult::Panicked(message) => panicked_outcome(&ids[idx], &message),
+                };
+                sink(idx, &outcome);
+                outcomes.push(outcome);
+            },
+        );
+        outcomes
     }
 
-    /// [`discharge`](Self::discharge) starting at limit tier
-    /// `start_tier` instead of tier 0 — how a resumed [`crate::Session`]
-    /// carries escalation state across a crash: tiers a previous run
-    /// already exhausted on this obligation are not re-attempted.
+    /// Runs one obligation through the retry schedule starting at limit
+    /// tier `start_tier` — how a resumed [`crate::Session`] carries
+    /// escalation state across a crash: tiers a previous run already
+    /// exhausted on this obligation are not re-attempted.
     /// `attempts`/`escalations` in the outcome count this run only.
+    /// Prover panics are isolated to the obligation. A tripped `cancel`
+    /// stops the schedule *between* tiers (escalation must not retry a
+    /// cancellation away); mid-search cancellation is the solver
+    /// budget's job.
     pub(crate) fn discharge_from(
         &self,
         mut p: Prepared,
         report_deadline: Option<Instant>,
         start_tier: usize,
+        cancel: Option<&Cancel>,
     ) -> ObligationOutcome {
         let obligation_start = Instant::now();
         let mut attempts = 0u32;
@@ -409,6 +508,19 @@ impl Verifier {
         };
         let start_tier = start_tier.min(n_tiers - 1);
         for (ti, tier) in tiers.iter().enumerate().skip(start_tier) {
+            // A sibling's unsound outcome tripped the shared flag:
+            // stand down now rather than fast-failing through every
+            // remaining tier (a cancelled prove reports as a resource
+            // limit, which would otherwise buy an escalation).
+            if cancel.is_some_and(Cancel::is_tripped) {
+                return done(
+                    false,
+                    "cancelled by caller: a parallel sibling reported an unsound obligation"
+                        .to_string(),
+                    true,
+                    attempts,
+                );
+            }
             // Clip this attempt's prover deadline to what remains of
             // the report budget; if nothing remains, stop attempting.
             let mut limits = tier.clone();
@@ -466,6 +578,24 @@ impl Verifier {
             }
         }
         unreachable!("the last tier always returns")
+    }
+}
+
+/// The outcome recorded for an obligation whose worker died past the
+/// pool's supervision budget (or lost the obligation to a mid-discharge
+/// crash). Shaped like the sequential checker's in-obligation panic
+/// outcome: failed, not resource-limited — a panic is evidence of a
+/// bug, not of an undersized budget.
+fn panicked_outcome(id: &str, message: &str) -> ObligationOutcome {
+    ObligationOutcome {
+        id: id.to_string(),
+        proved: false,
+        elapsed: Duration::ZERO,
+        detail: format!("panicked: {message}"),
+        attempts: 0,
+        escalations: 0,
+        resource_limited: false,
+        cached: false,
     }
 }
 

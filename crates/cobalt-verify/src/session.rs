@@ -32,11 +32,17 @@ use crate::error::VerifyError;
 use crate::oblig::{obligations_for_analysis, obligations_for_optimization, Prepared};
 use cobalt_dsl::{Optimization, PureAnalysis};
 use cobalt_logic::Limits;
-use cobalt_support::journal::{Fnv64, Journal, LoadReport};
+use cobalt_support::journal::{Fnv64, Journal, LoadReport, LockOutcome};
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 use std::time::{Duration, Instant};
+
+/// How long [`Session::with_journal`] waits for the journal's advisory
+/// lock before degrading to uncached verification. Long enough to ride
+/// out a sibling's append bursts, short enough that a wedged holder
+/// cannot wedge us.
+pub const DEFAULT_LOCK_WAIT: Duration = Duration::from_secs(5);
 
 /// Version tag mixed into every fingerprint; bump on any change to the
 /// fingerprint inputs or the record format so stale journals invalidate
@@ -237,22 +243,59 @@ impl Session {
         }
     }
 
-    /// Opens (creating if absent) the proof journal at `path` and
-    /// builds the resume cache from its intact records. Corrupt tails
-    /// are discarded by the journal loader — see
-    /// [`load_report`](Self::load_report) for what was recovered.
+    /// Opens (creating if absent) the proof journal at `path` under its
+    /// advisory exclusive lock and builds the resume cache from its
+    /// intact records. Corrupt tails are discarded by the journal
+    /// loader — see [`load_report`](Self::load_report) for what was
+    /// recovered.
+    ///
+    /// The lock makes one journal shareable by concurrent `cobalt
+    /// verify --journal same-path` processes: exactly one holds it at a
+    /// time. A session that cannot acquire it within
+    /// [`DEFAULT_LOCK_WAIT`] (or hits an injected `journal.lock` fault)
+    /// starts **degraded** — verification proceeds uncached with
+    /// unchanged verdicts and exit codes, and
+    /// [`degraded`](Self::degraded) says why.
     ///
     /// # Errors
     ///
     /// Returns the `io::Error` if the journal file cannot be opened at
     /// all (bad path, permissions, injected `journal.load` fault).
-    /// Corruption inside the file is *not* an error.
+    /// Corruption inside the file is *not* an error, and neither is
+    /// lock contention.
     pub fn with_journal(
         verifier: Verifier,
         path: impl AsRef<Path>,
         mode: ResumeMode,
     ) -> io::Result<Session> {
-        let mut opened = Journal::open(path)?;
+        Self::with_journal_wait(verifier, path, mode, DEFAULT_LOCK_WAIT)
+    }
+
+    /// [`with_journal`](Self::with_journal) with an explicit lock-wait
+    /// budget (tests and impatient callers).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`with_journal`](Self::with_journal).
+    pub fn with_journal_wait(
+        verifier: Verifier,
+        path: impl AsRef<Path>,
+        mode: ResumeMode,
+        lock_wait: Duration,
+    ) -> io::Result<Session> {
+        let mut opened = match Journal::open_locked(path, lock_wait)? {
+            LockOutcome::Acquired(opened) => opened,
+            LockOutcome::Contended { reason } => {
+                return Ok(Session {
+                    verifier,
+                    journal: None,
+                    cache: HashMap::new(),
+                    session_payloads: Vec::new(),
+                    loaded: LoadReport::default(),
+                    degraded: Some(format!("journal lock unavailable ({reason})")),
+                })
+            }
+        };
         let mut cache = HashMap::new();
         match mode {
             ResumeMode::Fresh => {
@@ -346,8 +389,13 @@ impl Session {
         if let Some(journal) = &mut self.journal {
             if let Err(e) = journal.compact(&self.session_payloads) {
                 self.degrade(format!("journal compaction failed: {e}"));
+                return;
             }
         }
+        // Compaction ends this session's journaling; dropping the
+        // handle releases the advisory lock so another session (this
+        // process or another) can take over the journal immediately.
+        self.journal = None;
     }
 
     fn degrade(&mut self, reason: String) {
@@ -357,9 +405,14 @@ impl Session {
         }
     }
 
-    /// The session analogue of `Verifier::run`: per obligation, replay
-    /// a cached proof, or discharge (resuming escalation for a known
-    /// resource-limited failure) and journal the outcome.
+    /// The session analogue of `Verifier::discharge_all`: per
+    /// obligation, replay a cached proof, or discharge (resuming
+    /// escalation for a known resource-limited failure) and journal the
+    /// outcome. Fresh obligations go through the verifier's batch
+    /// discharge, so a parallel (`jobs > 1`) verifier fans them out
+    /// across its pool; the journaling sink receives outcomes in
+    /// obligation order, so journal bytes are identical to a
+    /// sequential run's.
     fn run(&mut self, name: String, rule_src: &str, prepared: Vec<Prepared>) -> Report {
         let start = Instant::now();
         let report_deadline = self
@@ -368,13 +421,21 @@ impl Session {
             .report_deadline
             .and_then(|d| start.checked_add(d));
         let tiers = self.verifier.policy.tiers.clone();
-        let mut outcomes = Vec::new();
-        for p in prepared {
+        let total = prepared.len();
+        // Partition: cache hits replay immediately into their slots,
+        // everything else queues for (possibly parallel) discharge.
+        let mut outcome_slots: Vec<Option<ObligationOutcome>> = Vec::with_capacity(total);
+        outcome_slots.resize_with(total, || None);
+        let mut payload_slots: Vec<Option<Vec<u8>>> = Vec::with_capacity(total);
+        payload_slots.resize_with(total, || None);
+        let mut fresh: Vec<(Prepared, usize)> = Vec::new();
+        let mut fresh_meta: Vec<(usize, u64, usize)> = Vec::new(); // (orig idx, fp, start_tier)
+        for (idx, p) in prepared.into_iter().enumerate() {
             let fp = fingerprint_obligation(rule_src, &p, &tiers);
-            let hit = self.cache.get(&fp).cloned();
-            if let Some(cached) = &hit {
+            let hit = self.cache.get(&fp);
+            if let Some(cached) = hit {
                 if cached.entry.proved {
-                    outcomes.push(ObligationOutcome {
+                    outcome_slots[idx] = Some(ObligationOutcome {
                         id: p.id,
                         proved: true,
                         elapsed: Duration::from_micros(cached.entry.elapsed_us),
@@ -384,7 +445,7 @@ impl Session {
                         resource_limited: false,
                         cached: true,
                     });
-                    self.session_payloads.push(cached.raw.clone());
+                    payload_slots[idx] = Some(cached.raw.clone());
                     continue;
                 }
             }
@@ -393,13 +454,20 @@ impl Session {
             // failures (deterministic, but the rule or encoding may
             // have been the problem last time the fingerprint was
             // computed — it matches, so they simply retry) start cold.
-            let start_tier = match &hit {
+            let start_tier = match hit {
                 Some(c) if c.entry.resource_limited => c.entry.tier as usize,
                 _ => 0,
             };
-            let outcome = self
-                .verifier
-                .discharge_from(p, report_deadline, start_tier);
+            fresh_meta.push((idx, fp, start_tier));
+            fresh.push((p, start_tier));
+        }
+        // Split borrows so the journaling sink can write while the
+        // verifier discharges.
+        let verifier = &self.verifier;
+        let journal = &mut self.journal;
+        let degraded = &mut self.degraded;
+        let fresh_outcomes = verifier.discharge_batch(fresh, report_deadline, |fi, outcome| {
+            let (orig_idx, fp, start_tier) = fresh_meta[fi];
             let entry = JournalEntry {
                 fingerprint: fp,
                 rule: name.clone(),
@@ -412,29 +480,35 @@ impl Session {
                 elapsed_us: outcome.elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
                 detail: outcome.detail.clone(),
             };
-            self.journal_outcome(entry);
-            outcomes.push(outcome);
+            let payload = entry.encode();
+            // Append + fsync as each outcome lands (in obligation
+            // order); an I/O failure (or injected `journal.write`/
+            // `journal.fsync` fault) disables journaling for the rest
+            // of the session instead of failing verification.
+            if let Some(j) = journal.as_mut() {
+                if let Err(e) = j.append(&payload).and_then(|()| j.sync()) {
+                    *journal = None;
+                    if degraded.is_none() {
+                        *degraded = Some(format!("journal write failed: {e}"));
+                    }
+                    return;
+                }
+            }
+            payload_slots[orig_idx] = Some(payload);
+        });
+        for (fi, outcome) in fresh_outcomes.into_iter().enumerate() {
+            outcome_slots[fresh_meta[fi].0] = Some(outcome);
         }
+        self.session_payloads
+            .extend(payload_slots.into_iter().flatten());
         Report {
             name,
-            outcomes,
+            outcomes: outcome_slots
+                .into_iter()
+                .map(|o| o.expect("every obligation produced exactly one outcome"))
+                .collect(),
             elapsed: start.elapsed(),
         }
-    }
-
-    /// Appends + fsyncs one outcome record; an I/O failure (or injected
-    /// `journal.write`/`journal.fsync` fault) disables journaling for
-    /// the rest of the session instead of failing verification.
-    fn journal_outcome(&mut self, entry: JournalEntry) {
-        let payload = entry.encode();
-        if let Some(journal) = &mut self.journal {
-            let result = journal.append(&payload).and_then(|()| journal.sync());
-            if let Err(e) = result {
-                self.degrade(format!("journal write failed: {e}"));
-                return;
-            }
-        }
-        self.session_payloads.push(payload);
     }
 }
 

@@ -15,13 +15,28 @@
 //! (DESIGN.md §10): the first run proves everything and caches it, and
 //! subsequent runs replay cached outcomes — the `cached` column shows
 //! how many obligations each entry reused.
+//!
+//! Set `COBALT_JOBS=N` to discharge each report's obligations across N
+//! supervised workers (DESIGN.md §11). A `BENCH_JSON` line records the
+//! whole-registry wall clock and obligations/sec, so before/after
+//! comparisons of the parallel speedup are one grep away.
 
 use cobalt::dsl::LabelEnv;
 use cobalt::verify::{Report, ResumeMode, SemanticMeanings, Session, Verifier};
+use cobalt_support::bench::{Stats, Throughput};
 use std::error::Error;
+use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard());
+    let jobs: usize = std::env::var("COBALT_JOBS")
+        .ok()
+        .map(|v| v.trim().parse())
+        .transpose()
+        .map_err(|e| format!("COBALT_JOBS: {e}"))?
+        .unwrap_or(1)
+        .max(1);
+    let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
+        .with_jobs(jobs);
     let mut session = match std::env::var("COBALT_JOURNAL") {
         Ok(path) => {
             println!("journaling to {path} (cached outcomes replay on rerun)");
@@ -45,6 +60,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         ));
     };
 
+    let wall_start = Instant::now();
     for analysis in cobalt::opts::all_analyses() {
         let report = session.verify_analysis(&analysis)?;
         assert!(report.all_proved(), "{}", report.summary());
@@ -55,6 +71,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         assert!(report.all_proved(), "{}", report.summary());
         push(&report);
     }
+    let wall = wall_start.elapsed();
     session.finish();
     if let Some(reason) = session.degraded() {
         println!("note: journaling disabled mid-run ({reason})");
@@ -92,5 +109,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         "(paper, Simplify on 2003 hardware: range 3–104 s, average 28 s; \
          the shape — all proven, >10x spread — is reproduced)"
     );
+    // One datapoint for the whole registry: wall clock + throughput at
+    // this worker count, in the harness's BENCH_JSON format.
+    Stats::single(
+        &format!("prove_all/registry/jobs={jobs}"),
+        wall,
+        Some(Throughput::Elements(total_obls as u64)),
+    )
+    .emit();
     Ok(())
 }

@@ -154,6 +154,78 @@ if ! grep -q "journaling disabled" <<<"$out"; then
     echo "journal: write-fault verify did not report degradation:"; echo "$out"; exit 1
 fi
 
+echo "== parallel stage (supervised discharge)"
+
+# Determinism: the full registry verified at --jobs 1 and --jobs 4 must
+# produce byte-identical output once per-report wall-clock times are
+# normalized away. (Verdicts, ids, order, attempt counts — everything
+# observable except speed.)
+normalize_times() { sed -E 's/ in [0-9]+(\.[0-9]+)?(ns|µs|ms|s)//g'; }
+seq_out=$("$COBALT" verify 2>&1 | normalize_times)
+par_out=$("$COBALT" verify --jobs 4 2>&1 | normalize_times)
+if [[ "$seq_out" != "$par_out" ]]; then
+    echo "parallel: --jobs 4 output diverged from --jobs 1:"
+    diff <(echo "$seq_out") <(echo "$par_out") || true
+    exit 1
+fi
+# And COBALT_JOBS is the same knob.
+env_out=$(COBALT_JOBS=4 "$COBALT" verify 2>&1 | normalize_times)
+if [[ "$seq_out" != "$env_out" ]]; then
+    echo "parallel: COBALT_JOBS=4 output diverged from --jobs 1"; exit 1
+fi
+# A bad jobs value is a typed CLI error (exit 1), not a panic.
+set +e
+"$COBALT" verify --jobs 0 >/dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 1 ]]; then
+    echo "parallel: verify --jobs 0 exited $code (want 1)"; exit 1
+fi
+
+# A worker panic injected mid-batch is retried by the pool supervisor:
+# same verdict, exit 0.
+set +e
+COBALT_FAULTS=pool.task:panic@3 "$COBALT" verify --jobs 4 >/dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 0 ]]; then
+    echo "parallel: worker-panic verify exited $code (want 0)"; exit 1
+fi
+
+# Two concurrent processes sharing one journal: the advisory lock
+# serializes or degrades them, but both must exit 0.
+journal=$(mktemp -u /tmp/cobalt_verify_journal_XXXXXX.cobj)
+"$COBALT" verify --jobs 2 --journal "$journal" >/tmp/cobalt_par_a.$$ 2>&1 &
+pid_a=$!
+"$COBALT" verify --jobs 2 --journal "$journal" >/tmp/cobalt_par_b.$$ 2>&1 &
+pid_b=$!
+set +e
+wait "$pid_a"; code_a=$?
+wait "$pid_b"; code_b=$?
+set -e
+if [[ $code_a -ne 0 || $code_b -ne 0 ]]; then
+    echo "parallel: concurrent journaled verifies exited $code_a/$code_b (want 0/0)"
+    cat /tmp/cobalt_par_a.$$ /tmp/cobalt_par_b.$$
+    rm -f "$journal" /tmp/cobalt_par_a.$$ /tmp/cobalt_par_b.$$
+    exit 1
+fi
+rm -f /tmp/cobalt_par_a.$$ /tmp/cobalt_par_b.$$
+
+# Lock-contention timeout: an injected journal.lock fault degrades to
+# uncached verification — exit 0 with the "journaling disabled" note,
+# never a hard failure.
+set +e
+out=$(COBALT_FAULTS=journal.lock:fail@1 "$COBALT" verify --jobs 4 --journal "$journal" 2>&1)
+code=$?
+set -e
+rm -f "$journal"
+if [[ $code -ne 0 ]]; then
+    echo "parallel: lock-fault verify exited $code (want 0):"; echo "$out"; exit 1
+fi
+if ! grep -q "journaling disabled" <<<"$out"; then
+    echo "parallel: lock-fault verify did not report degradation:"; echo "$out"; exit 1
+fi
+
 if [[ "${1:-}" == "--benches" ]]; then
     for bench in proof_times engine_scaling tv_vs_proof prover_ablation; do
         echo "== cargo bench --bench ${bench} (fast mode)"

@@ -5,7 +5,7 @@
 //! cobalt run <prog.il> [--arg N]
 //! cobalt optimize <prog.il> [--passes a,b,…|all] [--rounds N] [--recursive-dae] [--resilient]
 //! cobalt verify [<suite.cob>] [--include-buggy] [--timeout SECS] [--max-splits N]
-//!               [--journal PATH [--resume|--fresh]]
+//!               [--jobs N] [--journal PATH [--resume|--fresh]]
 //! cobalt lint [<file.il|file.cob>…] [--json] [--deny warn]
 //! cobalt validate <orig.il> <new.il>
 //! cobalt hunt <name|suite.cob> [--tries N]
@@ -86,10 +86,13 @@ const USAGE: &str = "usage:
       run the (machine-verified) optimization suite and print the
       result; --resilient skips (rather than propagates) failing passes
   cobalt verify [<suite.cob>] [--include-buggy] [--timeout SECS] [--max-splits N]
-                [--journal PATH [--resume|--fresh]]
+                [--jobs N] [--journal PATH [--resume|--fresh]]
       prove every optimization sound; with no file, the built-in suite.
       --timeout bounds wall-clock per report; --max-splits caps case
-      splits per proof attempt. --journal records every obligation
+      splits per proof attempt. --jobs discharges a report's obligations
+      across N supervised workers (default 1, or the COBALT_JOBS
+      environment variable); verdicts and exit codes are identical at
+      any job count. --journal records every obligation
       outcome in a crash-safe proof journal and (by default, or with
       --resume) replays already-proved obligations from it, so a killed
       run resumes warm; --fresh discards the journal first. exit codes:
@@ -152,7 +155,7 @@ fn positional(args: &[String]) -> Vec<&str> {
             skip = matches!(
                 a.as_str(),
                 "--arg" | "--passes" | "--rounds" | "--tries" | "--timeout" | "--max-splits"
-                    | "--deny" | "--journal"
+                    | "--jobs" | "--deny" | "--journal"
             ) && i + 1 < args.len();
             continue;
         }
@@ -303,6 +306,28 @@ fn verify_policy(args: &[String]) -> Result<RetryPolicy, String> {
     Ok(policy)
 }
 
+/// Resolves the worker count for `verify`: `--jobs N` wins, then the
+/// `COBALT_JOBS` environment variable, then 1 (sequential — the pool
+/// is bypassed entirely). Zero and non-numeric values are typed CLI
+/// errors, from either source.
+fn verify_jobs(args: &[String]) -> Result<usize, String> {
+    let (value, source) = match flag_value(args, "--jobs") {
+        Some(v) => (v.to_string(), "--jobs"),
+        None => match std::env::var("COBALT_JOBS") {
+            Ok(v) => (v, "COBALT_JOBS"),
+            Err(_) => return Ok(1),
+        },
+    };
+    let jobs: usize = value
+        .trim()
+        .parse()
+        .map_err(|e| format!("{source}: {e} (`{value}`)"))?;
+    if jobs == 0 {
+        return Err(format!("{source}: expected a positive worker count, got 0"));
+    }
+    Ok(jobs)
+}
+
 /// Builds the verification session for `verify` from `--journal PATH`
 /// and the mutually exclusive `--resume`/`--fresh` mode flags. Both
 /// mode flags require `--journal`; with `--journal` alone the session
@@ -339,7 +364,8 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
     let pos = positional(args);
     let (opts, analyses) = load_suite(pos.first().copied())?;
     let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
-        .with_retry_policy(verify_policy(args)?);
+        .with_retry_policy(verify_policy(args)?)
+        .with_jobs(verify_jobs(args)?);
     let mut session = verify_session(args, verifier)?;
     let mut out = String::new();
     if session.load_report().corrupted() {
@@ -413,7 +439,7 @@ fn cmd_verify(args: &[String]) -> Result<String, CliError> {
         // Journal trouble never fails verification — it degrades to an
         // uncached run and says so, preserving the exit-code contract.
         out.push_str(&format!(
-            "note: journaling disabled mid-run ({reason}); verification continued uncached\n"
+            "note: journaling disabled ({reason}); verification continued uncached\n"
         ));
     }
     if unsound {
@@ -686,6 +712,37 @@ mod tests {
     }
 
     #[test]
+    fn verify_jobs_flag_parses_and_rejects_nonsense() {
+        // No flag and no env (the test env never sets COBALT_JOBS):
+        // sequential default.
+        assert_eq!(verify_jobs(&[]).unwrap(), 1);
+        assert_eq!(verify_jobs(&["--jobs".into(), "4".into()]).unwrap(), 4);
+        assert_eq!(verify_jobs(&["--jobs".into(), " 2 ".into()]).unwrap(), 2);
+        let err = verify_jobs(&["--jobs".into(), "0".into()]).unwrap_err();
+        assert!(err.contains("positive worker count"), "{err}");
+        let err = verify_jobs(&["--jobs".into(), "many".into()]).unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        // And it surfaces as a typed exit-1 CLI error, not a panic.
+        let err = run_cli(&["verify".into(), "--jobs".into(), "0".into()]).unwrap_err();
+        assert_eq!(err.code, 1, "{}", err.msg);
+    }
+
+    #[test]
+    fn verify_parallel_jobs_proves_the_suite() {
+        let p = write_tmp(
+            "suite_par.cob",
+            "forward const_prop {
+                stmt(Y := C) followed by !mayDef(Y)
+                until X := Y => X := C
+                with witness eta(Y) == C
+            }",
+        );
+        let out = run_cli(&["verify".into(), p.clone(), "--jobs".into(), "4".into()]).unwrap();
+        assert!(out.contains("all optimizations proved sound"), "{out}");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
     fn verify_journal_resume_reports_cached_obligations() {
         let suite = write_tmp(
             "suite_j.cob",
@@ -776,7 +833,7 @@ mod tests {
             ])
         })
         .unwrap();
-        assert!(out.contains("journaling disabled mid-run"), "{out}");
+        assert!(out.contains("journaling disabled"), "{out}");
         assert!(out.contains("all optimizations proved sound"), "{out}");
         std::fs::remove_file(&journal).ok();
         std::fs::remove_file(suite).ok();

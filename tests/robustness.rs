@@ -115,6 +115,53 @@ fn degenerate_zero_limits_fail_every_obligation_fast() {
     );
 }
 
+/// Companion to the degenerate-limits fast-fail above, for the other
+/// two ways a solver can be dead on arrival: a pre-tripped cancel flag
+/// (a parallel sibling already found an unsound obligation) and an
+/// already-expired deadline. Both must return a resource-limited
+/// `Unknown` before any search or interning starts — a cancelled
+/// worker that still pays NNF + congruence-closure setup per remaining
+/// obligation would make fail-fast cancellation pointless.
+#[test]
+fn pre_tripped_cancel_and_expired_deadline_fail_before_search() {
+    use cobalt::logic::{Budget, Formula, Outcome, ProofTask, Solver, Stats};
+    use std::sync::atomic::Ordering;
+
+    // A goal that trivially proves, so only the fast-fail can explain
+    // an Unknown outcome.
+    let task_in = |s: &mut Solver| {
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        ProofTask {
+            hypotheses: vec![Formula::Eq(x, y)],
+            goal: Formula::Eq(y, x),
+        }
+    };
+
+    let mut cancelled = Solver::new();
+    cancelled
+        .cancel_flag()
+        .store(true, Ordering::Relaxed);
+    let task = task_in(&mut cancelled);
+    let out = cancelled.prove(&task);
+    assert!(out.is_resource_limited(), "{out:?}");
+    let Outcome::Unknown { reason, stats, .. } = out else {
+        panic!("expected Unknown");
+    };
+    assert!(reason.contains("cancelled by caller before search"), "{reason}");
+    assert_eq!(stats, Stats::default(), "no search work may have happened");
+
+    let mut expired = Solver::new();
+    expired.set_budget(Budget::with_deadline(Duration::ZERO));
+    let task = task_in(&mut expired);
+    let out = expired.prove(&task);
+    assert!(out.is_resource_limited(), "{out:?}");
+    let Outcome::Unknown { reason, stats, .. } = out else {
+        panic!("expected Unknown");
+    };
+    assert!(reason.contains("before search began"), "{reason}");
+    assert_eq!(stats, Stats::default());
+}
+
 /// A prover panic is contained to the one obligation it occurred in:
 /// that obligation fails with a `panicked: …` detail (and is *not*
 /// counted as resource-limited), while every other obligation still

@@ -135,3 +135,69 @@ fn journal_crash_resume_soak() {
     println!("journal soak: 300 rounds, {kills} kills, {tears} tears, {flips} flips survived");
     std::fs::remove_file(&path).ok();
 }
+
+/// Parallel kill/resume soak (ISSUE 5): rounds of a `--jobs 4` session
+/// killed partway through the suite, resumed at an alternating worker
+/// count. Parallel discharge journals outcomes in obligation order, so
+/// a kill between appends leaves exactly the same clean prefix a
+/// sequential kill would: every resume loads uncorrupted, replays what
+/// the dead run proved, and a completed round warms the next full run
+/// entirely — regardless of the jobs count on either side of the kill.
+#[test]
+#[ignore = "soak test: minutes of CPU; run explicitly"]
+fn parallel_kill_resume_soak() {
+    let path = std::env::temp_dir().join(format!(
+        "cobalt_soak_parallel_{}.cobj",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    let registry = cobalt::opts::all_optimizations();
+    let verifier = |jobs: usize| {
+        Verifier::new(LabelEnv::standard(), SemanticMeanings::standard()).with_jobs(jobs)
+    };
+    let mut rng = Rng::seed_from_u64(0x9A11E7);
+    let mut kills = 0u32;
+
+    for round in 0..120u32 {
+        let jobs = if round % 2 == 0 { 4 } else { 1 };
+        let survive = rng.gen_range(0..=registry.len());
+        let mut session = Session::with_journal(verifier(jobs), &path, ResumeMode::Resume)
+            .unwrap_or_else(|e| panic!("round {round}: journal must always open: {e}"));
+        assert!(
+            session.degraded().is_none(),
+            "round {round}: the dead run's lock died with it; no contention"
+        );
+        assert!(
+            !session.load_report().corrupted(),
+            "round {round}: in-order parallel appends leave a clean journal: {:?}",
+            session.load_report()
+        );
+        for opt in &registry[..survive] {
+            let report = session.verify_optimization(opt).unwrap();
+            assert!(report.all_proved(), "round {round}: {}", report.summary());
+        }
+        if survive == registry.len() {
+            session.finish();
+            assert!(session.degraded().is_none(), "round {round}");
+            // A completed journal warms the next full run — at the
+            // *other* worker count — entirely.
+            let mut warm =
+                Session::with_journal(verifier(5 - jobs), &path, ResumeMode::Resume).unwrap();
+            for opt in &registry {
+                let report = warm.verify_optimization(opt).unwrap();
+                assert_eq!(
+                    report.cached_count(),
+                    report.outcomes.len(),
+                    "round {round}: {}",
+                    report.summary()
+                );
+            }
+            warm.finish();
+        } else {
+            kills += 1;
+            drop(session); // the kill: no finish, no compaction, lock released
+        }
+    }
+    println!("parallel soak: 120 rounds, {kills} kills survived");
+    std::fs::remove_file(&path).ok();
+}
