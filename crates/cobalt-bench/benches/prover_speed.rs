@@ -1,0 +1,58 @@
+//! Prover raw speed (ISSUE 6, ROADMAP open item 3): full-registry
+//! obligations/sec at one worker — the per-PR trajectory datapoint
+//! committed as `BENCH_*.json`.
+//!
+//! Two variants pin the tentpole's shape:
+//!
+//! * `registry_shared` — the default [`BankMode::BatchShared`]: one
+//!   interned vocabulary per rule, overlay solvers per obligation.
+//! * `registry_fresh` — the [`BankMode::PerObligation`] oracle: every
+//!   obligation re-interns its bank from scratch.
+//!
+//! Each sample discharges the *entire* built-in registry (analyses and
+//! optimizations) sequentially and asserts everything proves, so the
+//! number is end-to-end: encoding, obligation construction, and proof
+//! search, not just the solver inner loop. Elements = obligations, so
+//! the harness reports obligations/sec directly.
+
+use cobalt_dsl::LabelEnv;
+use cobalt_support::bench::{Bench, Throughput};
+use cobalt_support::{bench_group, bench_main};
+use cobalt_verify::{BankMode, SemanticMeanings, Verifier};
+
+fn discharge_registry(v: &Verifier) -> u64 {
+    let mut obligations = 0u64;
+    for analysis in cobalt_opts::all_analyses() {
+        let report = v.verify_analysis(&analysis).expect("encodable");
+        assert!(report.all_proved(), "{}", report.summary());
+        obligations += report.outcomes.len() as u64;
+    }
+    for opt in cobalt_opts::all_optimizations() {
+        let report = v.verify_optimization(&opt).expect("encodable");
+        assert!(report.all_proved(), "{}", report.summary());
+        obligations += report.outcomes.len() as u64;
+    }
+    obligations
+}
+
+fn bench_prover_speed(c: &mut Bench) {
+    let mut group = c.benchmark_group("prover_speed");
+    group.sample_size(10);
+    for (tag, mode) in [
+        ("registry_shared", BankMode::BatchShared),
+        ("registry_fresh", BankMode::PerObligation),
+    ] {
+        let v = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
+            .with_jobs(1)
+            .with_bank_mode(mode);
+        let obligations = discharge_registry(&v);
+        group.throughput(Throughput::Elements(obligations));
+        group.bench_function(format!("{tag}/jobs=1"), |b| {
+            b.iter(|| discharge_registry(&v))
+        });
+    }
+    group.finish();
+}
+
+bench_group!(benches, bench_prover_speed);
+bench_main!(benches);

@@ -13,31 +13,200 @@
 //!   distinct values.
 
 use crate::term::{Sym, TermBank, TermData, TermId};
-use std::collections::HashMap;
+use cobalt_support::FastMap;
+
+/// A congruence signature: a function symbol applied to the class
+/// representatives of its arguments. Two applications with the same
+/// signature are equal by congruence. Inline for the common arities so
+/// that registration — which re-derives signatures on every split
+/// alternative after a rewind — does not allocate per application.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum SigKey {
+    K1(Sym, TermId),
+    K2(Sym, TermId, TermId),
+    K3(Sym, TermId, TermId, TermId),
+    KN(Sym, Vec<TermId>),
+}
+
+/// One reversible mutation, recorded while at least one savepoint is
+/// outstanding and replayed in reverse by [`Cc::restore`].
+#[derive(Debug, Clone)]
+enum TrailOp {
+    /// A term was registered (undo: clear its membership flag; the
+    /// use-list/signature/constructor entries it created are trailed
+    /// individually).
+    Registered(TermId),
+    /// `parent[t]` was overwritten; the old value.
+    Parent(TermId, TermId),
+    /// `size[t]` was overwritten; the old value.
+    Size(TermId, u32),
+    /// A signature was inserted (signatures are never overwritten).
+    SigInsert(SigKey),
+    /// `moved` use-list entries went from `from`'s tail onto `to`'s.
+    UseMove {
+        from: TermId,
+        to: TermId,
+        moved: usize,
+    },
+    /// A term was pushed onto `root`'s use list.
+    UseListPush(TermId),
+    /// A disequality was watched under both its endpoint roots.
+    DiseqPush(TermId, TermId),
+    /// `moved` diseq-watch entries went from `from`'s tail onto `to`'s.
+    DiseqMove {
+        from: TermId,
+        to: TermId,
+        moved: usize,
+    },
+    /// A constructor witness was recorded for a previously witness-free
+    /// class (witnesses are never overwritten).
+    CtorInsert(TermId),
+    /// The conflict flag was set (it was `None` before: merges stop at
+    /// the first conflict).
+    Conflict,
+}
 
 /// A congruence-closure context.
 ///
-/// Cloning a `Cc` is how the solver branches: the clone shares the
-/// (append-only) [`TermBank`] but has independent equivalence classes.
+/// Cloning a `Cc` is how a caller forks independent equivalence
+/// classes over the shared (append-only) [`TermBank`]. The solver's
+/// tableau search instead uses the cheaper [`save`](Cc::save) /
+/// [`restore`](Cc::restore) undo trail: a savepoint marks the trail,
+/// every subsequent mutation is recorded, and `restore` rewinds to the
+/// mark — so case splits reuse one context instead of re-closing (or
+/// deep-cloning) per branch.
 #[derive(Debug, Clone, Default)]
 pub struct Cc {
     parent: Vec<TermId>,
     size: Vec<u32>,
-    use_list: HashMap<TermId, Vec<TermId>>,
-    sig: HashMap<(Sym, Vec<TermId>), TermId>,
-    diseqs: Vec<(TermId, TermId)>,
+    /// Terms whose use lists, signatures, and constructor witnesses
+    /// have been built. Registration is *demand-driven* (see
+    /// [`register`](Cc::register)): a caller working over a large
+    /// shared bank registers only the terms its problem mentions, so
+    /// the cost of closure tracks the problem, not the bank.
+    registered: Vec<bool>,
+    use_list: FastMap<TermId, Vec<TermId>>,
+    sig: FastMap<SigKey, TermId>,
+    /// Asserted disequalities, watched under the *current root* of each
+    /// endpoint (so every disequality appears in exactly two lists —
+    /// or one, with multiplicity, if the roots later coincide in a
+    /// conflict). Unions re-home the dying root's watch list, so both
+    /// violation checking in [`merge`](Cc::merge) and the
+    /// [`are_diseq`](Cc::are_diseq) query touch only the disequalities
+    /// incident to the classes involved, never the whole set.
+    diseq_watch: FastMap<TermId, Vec<(TermId, TermId)>>,
     /// Per-class witness that the class contains a constructor
     /// application or integer literal, keyed by representative.
-    ctor: HashMap<TermId, TermId>,
+    ctor: FastMap<TermId, TermId>,
     conflict: Option<String>,
-    /// Number of bank terms already registered.
-    synced: usize,
+    /// Bumped on every observable state change (registration, union,
+    /// disequality, rewind). Callers memoize derived results — e.g.
+    /// a theory-propagation pass that came up empty — keyed on this:
+    /// same version, same answers. Rewinds bump it too, so a restored
+    /// state never aliases the version of the state it replaced.
+    version: u64,
+    trail: Vec<TrailOp>,
+    saves: Vec<usize>,
 }
 
 impl Cc {
     /// Creates an empty context.
     pub fn new() -> Self {
         Cc::default()
+    }
+
+    /// Whether any savepoint is outstanding (mutations are trailed and
+    /// path compression is suspended: compressing across an undone
+    /// merge would corrupt restored classes).
+    fn trailing(&self) -> bool {
+        !self.saves.is_empty()
+    }
+
+    /// Marks a savepoint. Every mutation until the matching
+    /// [`restore`](Cc::restore) is recorded on the undo trail.
+    /// Savepoints nest.
+    pub fn save(&mut self) {
+        self.saves.push(self.trail.len());
+    }
+
+    /// Rewinds to the most recent savepoint, undoing every mutation
+    /// (merges, registrations, disequalities, a derived conflict) since.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no savepoint is outstanding.
+    pub fn restore(&mut self) {
+        let mark = self.saves.pop().expect("restore without a matching save");
+        self.version += 1;
+        while self.trail.len() > mark {
+            match self.trail.pop().expect("len checked") {
+                TrailOp::Registered(t) => {
+                    self.registered[t.idx()] = false;
+                }
+                TrailOp::Parent(t, old) => self.parent[t.idx()] = old,
+                TrailOp::Size(t, old) => self.size[t.idx()] = old,
+                TrailOp::SigInsert(key) => {
+                    self.sig.remove(&key);
+                }
+                TrailOp::UseMove { from, to, moved } => {
+                    if moved > 0 {
+                        let dst = self
+                            .use_list
+                            .get_mut(&to)
+                            .expect("use-move target list present");
+                        let tail = dst.split_off(dst.len() - moved);
+                        self.use_list.insert(from, tail);
+                    }
+                }
+                TrailOp::UseListPush(root) => {
+                    self.use_list
+                        .get_mut(&root)
+                        .expect("pushed use list present")
+                        .pop();
+                }
+                TrailOp::CtorInsert(t) => {
+                    self.ctor.remove(&t);
+                }
+                TrailOp::DiseqPush(ra, rb) => {
+                    self.diseq_watch
+                        .get_mut(&ra)
+                        .expect("watched diseq list present")
+                        .pop();
+                    self.diseq_watch
+                        .get_mut(&rb)
+                        .expect("watched diseq list present")
+                        .pop();
+                }
+                TrailOp::DiseqMove { from, to, moved } => {
+                    if moved > 0 {
+                        let dst = self
+                            .diseq_watch
+                            .get_mut(&to)
+                            .expect("diseq-move target list present");
+                        let tail = dst.split_off(dst.len() - moved);
+                        self.diseq_watch.insert(from, tail);
+                    }
+                }
+                TrailOp::Conflict => self.conflict = None,
+            }
+        }
+    }
+
+    /// Pops every outstanding savepoint, rewinding to the state before
+    /// the first [`save`](Cc::save). Convenient when a search unwinds
+    /// through several nested splits at once.
+    pub fn restore_all(&mut self) {
+        while self.trailing() {
+            self.restore();
+        }
+    }
+
+    /// The state-change counter (see the `version` field): any two
+    /// observably different states of this context report different
+    /// versions, so equal versions mean cached query results are still
+    /// valid.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Whether a contradiction has been derived.
@@ -50,52 +219,124 @@ impl Cc {
         self.conflict.as_deref()
     }
 
-    /// Registers all bank terms created since the last call, propagating
-    /// congruences that involve them.
+    /// Grows the union-find arrays to cover every bank term, with fresh
+    /// terms as their own (singleton) classes. Idempotent and never
+    /// trailed: identity *is* the virgin state, so stale capacity left
+    /// behind by a rewind is harmless.
     ///
     /// Must be called after any batch of term creation and before
-    /// queries involving the new terms.
-    pub fn sync(&mut self, bank: &TermBank) {
-        while self.synced < bank.len() {
-            let t = TermId(self.synced as u32);
-            self.synced += 1;
-            self.parent.push(t);
-            self.size.push(1);
-            match bank.data(t).clone() {
-                TermData::App(f, args) => {
-                    for &a in &args {
-                        let ra = self.find(a);
-                        self.use_list.entry(ra).or_default().push(t);
-                    }
-                    if bank.is_constructor(f) {
-                        self.ctor.insert(t, t);
-                    }
-                    let key = (f, args.iter().map(|&a| self.find(a)).collect::<Vec<_>>());
-                    if let Some(&q) = self.sig.get(&key) {
-                        self.merge(t, q, bank);
-                    } else {
-                        self.sig.insert(key, t);
-                    }
-                }
-                TermData::Int(_) => {
-                    self.ctor.insert(t, t);
-                }
-                TermData::Var(_) => {}
-            }
+    /// registering or merging the new terms.
+    pub fn ensure(&mut self, bank: &TermBank) {
+        let n = bank.len();
+        if self.parent.len() < n {
+            self.parent.extend((self.parent.len()..n).map(|i| TermId(i as u32)));
+            self.size.resize(n, 1);
+            self.registered.resize(n, false);
         }
     }
 
-    /// The class representative of `t`, with path compression.
+    /// Registers `t` and (recursively) its subterms: builds their use
+    /// lists, signatures, and constructor witnesses, propagating any
+    /// congruences that fall out.
+    ///
+    /// Registration is demand-driven so that closure over a large
+    /// shared bank costs only the terms the caller actually mentions;
+    /// unregistered terms still answer [`find`](Cc::find) queries as
+    /// their own singleton classes. Congruence closure is conservative
+    /// — extra terms never add equalities among existing ones — so the
+    /// equivalence relation over the registered set is the same as if
+    /// the whole bank had been registered.
+    ///
+    /// Call [`ensure`](Cc::ensure) first after minting new terms.
+    pub fn register(&mut self, t: TermId, bank: &TermBank) {
+        if self.registered[t.idx()] {
+            return;
+        }
+        self.version += 1;
+        self.registered[t.idx()] = true;
+        if self.trailing() {
+            self.trail.push(TrailOp::Registered(t));
+        }
+        match bank.data(t) {
+            TermData::App(f, args) => {
+                let f = *f;
+                for &a in args {
+                    self.register(a, bank);
+                }
+                for &a in args {
+                    let ra = self.find(a);
+                    self.use_list.entry(ra).or_default().push(t);
+                    if self.trailing() {
+                        self.trail.push(TrailOp::UseListPush(ra));
+                    }
+                }
+                if bank.is_constructor(f) {
+                    self.ctor.insert(t, t);
+                    if self.trailing() {
+                        self.trail.push(TrailOp::CtorInsert(t));
+                    }
+                }
+                let key = self.sig_key(f, args);
+                if let Some(&q) = self.sig.get(&key) {
+                    self.merge(t, q, bank);
+                } else {
+                    if self.trailing() {
+                        self.trail.push(TrailOp::SigInsert(key.clone()));
+                    }
+                    self.sig.insert(key, t);
+                }
+            }
+            TermData::Int(_) => {
+                self.ctor.insert(t, t);
+                if self.trailing() {
+                    self.trail.push(TrailOp::CtorInsert(t));
+                }
+            }
+            TermData::Var(_) => {}
+        }
+    }
+
+    /// Registers every bank term, propagating congruences that involve
+    /// them. Convenience for callers whose problem spans the whole
+    /// bank; the solver instead registers its relevant set on demand.
+    pub fn sync(&mut self, bank: &TermBank) {
+        self.ensure(bank);
+        for i in 0..bank.len() {
+            self.register(TermId(i as u32), bank);
+        }
+    }
+
+    /// The congruence signature of `f` applied to `args`, with each
+    /// argument resolved to its current class representative.
+    fn sig_key(&mut self, f: Sym, args: &[TermId]) -> SigKey {
+        match *args {
+            [a] => SigKey::K1(f, self.find(a)),
+            [a, b] => SigKey::K2(f, self.find(a), self.find(b)),
+            [a, b, c] => SigKey::K3(f, self.find(a), self.find(b), self.find(c)),
+            _ => SigKey::KN(f, args.iter().map(|&t| self.find(t)).collect()),
+        }
+    }
+
+    /// The class representative of `t`, with path compression (skipped
+    /// while a savepoint is outstanding — compressed pointers must not
+    /// outlive the merges they shortcut).
     pub fn find(&mut self, t: TermId) -> TermId {
+        // Terms minted since the last `ensure` are necessarily unmerged:
+        // their class is the identity.
+        if t.idx() >= self.parent.len() {
+            return t;
+        }
         let mut root = t;
         while self.parent[root.idx()] != root {
             root = self.parent[root.idx()];
         }
-        let mut cur = t;
-        while self.parent[cur.idx()] != root {
-            let next = self.parent[cur.idx()];
-            self.parent[cur.idx()] = root;
-            cur = next;
+        if self.saves.is_empty() {
+            let mut cur = t;
+            while self.parent[cur.idx()] != root {
+                let next = self.parent[cur.idx()];
+                self.parent[cur.idx()] = root;
+                cur = next;
+            }
         }
         root
     }
@@ -113,8 +354,11 @@ impl Cc {
         if ra == rb {
             return false;
         }
-        for i in 0..self.diseqs.len() {
-            let (x, y) = self.diseqs[i];
+        // Watched by current root: only disequalities incident to `a`'s
+        // class can separate the pair.
+        let n = self.diseq_watch.get(&ra).map_or(0, Vec::len);
+        for i in 0..n {
+            let (x, y) = self.diseq_watch[&ra][i];
             let (rx, ry) = (self.find(x), self.find(y));
             if (rx, ry) == (ra, rb) || (rx, ry) == (rb, ra) {
                 return true;
@@ -175,6 +419,10 @@ impl Cc {
                         }
                     }
                     Some(CtorRel::Clash(msg)) => {
+                        if self.trailing() {
+                            self.trail.push(TrailOp::Conflict);
+                        }
+                        self.version += 1;
                         self.conflict = Some(msg);
                         return;
                     }
@@ -182,19 +430,27 @@ impl Cc {
                 },
                 (None, Some(cy)) => {
                     self.ctor.insert(rx, cy);
+                    if self.trailing() {
+                        self.trail.push(TrailOp::CtorInsert(rx));
+                    }
                 }
                 _ => {}
             }
+            if self.trailing() {
+                self.trail.push(TrailOp::Parent(ry, self.parent[ry.idx()]));
+                self.trail.push(TrailOp::Size(rx, self.size[rx.idx()]));
+            }
+            self.version += 1;
             self.parent[ry.idx()] = rx;
             self.size[rx.idx()] += self.size[ry.idx()];
             // Re-normalize signatures of applications that used ry.
             let moved = self.use_list.remove(&ry).unwrap_or_default();
             for p in &moved {
                 let (f, args) = match bank.data(*p) {
-                    TermData::App(f, args) => (*f, args.clone()),
+                    TermData::App(f, args) => (*f, args),
                     _ => continue,
                 };
-                let key = (f, args.iter().map(|&t| self.find(t)).collect::<Vec<_>>());
+                let key = self.sig_key(f, args);
                 match self.sig.get(&key) {
                     Some(&q) => {
                         if self.find(q) != self.find(*p) {
@@ -202,15 +458,43 @@ impl Cc {
                         }
                     }
                     None => {
+                        if self.trailing() {
+                            self.trail.push(TrailOp::SigInsert(key.clone()));
+                        }
                         self.sig.insert(key, *p);
                     }
                 }
             }
+            if self.trailing() {
+                self.trail.push(TrailOp::UseMove {
+                    from: ry,
+                    to: rx,
+                    moved: moved.len(),
+                });
+            }
             self.use_list.entry(rx).or_default().extend(moved);
-            // Disequality check.
-            for i in 0..self.diseqs.len() {
-                let (u, v) = self.diseqs[i];
+            // Re-home ry's watched disequalities onto rx. Only the moved
+            // entries can be newly violated: a violation means both
+            // endpoints now share a root, which requires one of them to
+            // have been rooted at the dying class ry.
+            let moved_d = self.diseq_watch.remove(&ry).unwrap_or_default();
+            if self.trailing() {
+                self.trail.push(TrailOp::DiseqMove {
+                    from: ry,
+                    to: rx,
+                    moved: moved_d.len(),
+                });
+            }
+            self.diseq_watch
+                .entry(rx)
+                .or_default()
+                .extend(moved_d.iter().copied());
+            for &(u, v) in &moved_d {
                 if self.find(u) == self.find(v) {
+                    if self.trailing() {
+                        self.trail.push(TrailOp::Conflict);
+                    }
+                    self.version += 1;
                     self.conflict = Some(format!(
                         "asserted disequality violated: {} = {}",
                         bank.display(u),
@@ -230,6 +514,9 @@ impl Cc {
             return;
         }
         if self.are_eq(a, b) {
+            if self.trailing() {
+                self.trail.push(TrailOp::Conflict);
+            }
             self.conflict = Some(format!(
                 "disequality {} ≠ {} contradicts known equality",
                 bank.display(a),
@@ -237,7 +524,13 @@ impl Cc {
             ));
             return;
         }
-        self.diseqs.push((a, b));
+        let (ra, rb) = (self.find(a), self.find(b));
+        self.version += 1;
+        self.diseq_watch.entry(ra).or_default().push((a, b));
+        self.diseq_watch.entry(rb).or_default().push((a, b));
+        if self.trailing() {
+            self.trail.push(TrailOp::DiseqPush(ra, rb));
+        }
     }
 
     /// The constructor application or integer literal known to be in
@@ -464,6 +757,218 @@ mod tests {
         branch.merge(x, y, &b);
         assert!(branch.are_eq(x, y));
         assert!(!cc.are_eq(x, y));
+    }
+
+    #[test]
+    fn save_restore_undoes_merges() {
+        let (mut b, mut cc) = setup();
+        let f = b.sym("f");
+        let x = b.app0("x");
+        let y = b.app0("y");
+        let fx = b.app(f, vec![x]);
+        let fy = b.app(f, vec![y]);
+        cc.sync(&b);
+        cc.save();
+        cc.merge(x, y, &b);
+        assert!(cc.are_eq(x, y));
+        assert!(cc.are_eq(fx, fy));
+        cc.restore();
+        assert!(!cc.are_eq(x, y));
+        assert!(!cc.are_eq(fx, fy));
+        // The context is fully reusable after the rewind.
+        cc.merge(x, y, &b);
+        assert!(cc.are_eq(fx, fy));
+    }
+
+    #[test]
+    fn save_restore_undoes_syncs() {
+        let (mut b, mut cc) = setup();
+        let f = b.sym("f");
+        let x = b.app0("x");
+        let y = b.app0("y");
+        cc.sync(&b);
+        cc.merge(x, y, &b);
+        cc.save();
+        let fx = b.app(f, vec![x]);
+        let fy = b.app(f, vec![y]);
+        cc.sync(&b);
+        assert!(cc.are_eq(fx, fy));
+        cc.restore();
+        // fx/fy were deregistered; re-syncing re-registers them and
+        // re-derives the congruence from the surviving x = y merge.
+        cc.sync(&b);
+        assert!(cc.are_eq(fx, fy));
+        assert!(cc.are_eq(x, y));
+    }
+
+    #[test]
+    fn demand_registration_tracks_the_problem_not_the_bank() {
+        // Registering only the terms a problem mentions yields the same
+        // equivalence relation over them as registering the whole bank,
+        // while foreign terms stay untouched singleton classes.
+        let (mut b, mut cc) = setup();
+        let f = b.sym("f");
+        let g = b.sym("g");
+        let x = b.app0("x");
+        let y = b.app0("y");
+        let fx = b.app(f, vec![x]);
+        let fy = b.app(f, vec![y]);
+        let gx = b.app(g, vec![x]);
+        let gy = b.app(g, vec![y]);
+        cc.ensure(&b);
+        cc.register(fx, &b);
+        cc.register(fy, &b);
+        cc.merge(x, y, &b);
+        assert!(cc.are_eq(fx, fy));
+        // gx/gy were never registered: no use lists, no congruence, and
+        // find answers identity for them.
+        assert_eq!(cc.find(gx), gx);
+        assert!(!cc.are_eq(gx, gy));
+        // Late registration catches up on the standing merge.
+        cc.register(gx, &b);
+        cc.register(gy, &b);
+        assert!(cc.are_eq(gx, gy));
+    }
+
+    #[test]
+    fn find_is_identity_beyond_ensure() {
+        let (mut b, mut cc) = setup();
+        let x = b.app0("x");
+        cc.ensure(&b);
+        cc.register(x, &b);
+        let late = b.app0("late");
+        // Minted after the last `ensure`: still a valid singleton query.
+        assert_eq!(cc.find(late), late);
+        assert!(!cc.are_eq(x, late));
+    }
+
+    #[test]
+    fn save_restore_undoes_demand_registration() {
+        let (mut b, mut cc) = setup();
+        let f = b.sym("f");
+        let x = b.app0("x");
+        let y = b.app0("y");
+        let fx = b.app(f, vec![x]);
+        let fy = b.app(f, vec![y]);
+        cc.ensure(&b);
+        cc.register(x, &b);
+        cc.register(y, &b);
+        cc.merge(x, y, &b);
+        cc.save();
+        cc.register(fx, &b);
+        cc.register(fy, &b);
+        assert!(cc.are_eq(fx, fy));
+        cc.restore();
+        // fx/fy were deregistered; re-registering re-derives the
+        // congruence from the surviving x = y merge.
+        assert!(!cc.are_eq(fx, fy));
+        cc.register(fx, &b);
+        cc.register(fy, &b);
+        assert!(cc.are_eq(fx, fy));
+        assert!(cc.are_eq(x, y));
+    }
+
+    #[test]
+    fn save_restore_undoes_diseqs_and_conflicts() {
+        let (mut b, mut cc) = setup();
+        let x = b.app0("x");
+        let y = b.app0("y");
+        cc.sync(&b);
+        cc.save();
+        cc.assert_diseq(x, y, &b);
+        cc.merge(x, y, &b);
+        assert!(cc.in_conflict());
+        cc.restore();
+        assert!(!cc.in_conflict());
+        assert!(!cc.are_eq(x, y));
+        assert!(!cc.are_diseq(x, y, &b));
+        cc.merge(x, y, &b);
+        assert!(cc.are_eq(x, y));
+        assert!(!cc.in_conflict());
+    }
+
+    #[test]
+    fn save_restore_undoes_ctor_conflict() {
+        let (mut b, mut cc) = setup();
+        let one = b.int(1);
+        let two = b.int(2);
+        let x = b.app0("x");
+        cc.sync(&b);
+        cc.merge(x, one, &b);
+        cc.save();
+        cc.merge(x, two, &b);
+        assert!(cc.in_conflict());
+        cc.restore();
+        assert!(!cc.in_conflict());
+        assert!(cc.are_eq(x, one));
+        assert_eq!(cc.ctor_of(x), Some(one));
+    }
+
+    #[test]
+    fn nested_savepoints_rewind_in_order() {
+        let (mut b, mut cc) = setup();
+        let x = b.app0("x");
+        let y = b.app0("y");
+        let z = b.app0("z");
+        cc.sync(&b);
+        cc.save();
+        cc.merge(x, y, &b);
+        cc.save();
+        cc.merge(y, z, &b);
+        assert!(cc.are_eq(x, z));
+        cc.restore();
+        assert!(cc.are_eq(x, y));
+        assert!(!cc.are_eq(x, z));
+        cc.restore();
+        assert!(!cc.are_eq(x, y));
+    }
+
+    #[test]
+    fn restore_all_pops_every_savepoint() {
+        let (mut b, mut cc) = setup();
+        let x = b.app0("x");
+        let y = b.app0("y");
+        let z = b.app0("z");
+        cc.sync(&b);
+        cc.save();
+        cc.merge(x, y, &b);
+        cc.save();
+        cc.merge(y, z, &b);
+        cc.save();
+        cc.assert_diseq(x, z, &b);
+        assert!(cc.in_conflict());
+        cc.restore_all();
+        assert!(!cc.in_conflict());
+        assert!(!cc.are_eq(x, y));
+        assert!(!cc.are_eq(y, z));
+        // After restore_all the trail is quiescent: path compression is
+        // legal again and mutations are permanent.
+        cc.merge(x, z, &b);
+        assert!(cc.are_eq(x, z));
+    }
+
+    #[test]
+    fn save_restore_matches_clone_semantics() {
+        // Trail-based rewind and the clone-per-branch scheme must agree
+        // on every query, since the solver switched from the latter to
+        // the former.
+        let (mut b, mut cc) = setup();
+        let pair = b.constructor("pair");
+        let (x, y, u, v) = (b.app0("x"), b.app0("y"), b.app0("u"), b.app0("v"));
+        let p1 = b.app(pair, vec![x, y]);
+        let p2 = b.app(pair, vec![u, v]);
+        cc.sync(&b);
+        let mut cloned = cc.clone();
+        cloned.merge(p1, p2, &b);
+        cc.save();
+        cc.merge(p1, p2, &b);
+        for &(s, t) in &[(x, u), (y, v), (p1, p2), (x, y)] {
+            assert_eq!(cc.are_eq(s, t), cloned.are_eq(s, t));
+            assert_eq!(cc.are_diseq(s, t, &b), cloned.are_diseq(s, t, &b));
+        }
+        cc.restore();
+        assert!(!cc.are_eq(x, u));
+        assert!(!cc.are_eq(p1, p2));
     }
 
     #[test]

@@ -6,10 +6,9 @@
 //! with optional instantiation triggers (Simplify-style "patterns").
 
 use crate::term::{Sym, TermBank, TermId};
-use std::collections::HashMap;
 
 /// A first-order formula.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Formula {
     /// The true formula.
     True,
@@ -201,8 +200,11 @@ impl Formula {
 
     /// Substitutes terms for free variables throughout the formula.
     ///
-    /// Bound variables shadow the substitution.
-    pub fn subst(&self, bank: &mut TermBank, map: &HashMap<Sym, TermId>) -> Formula {
+    /// Bound variables shadow the substitution. The map is a small
+    /// slice, not a hash table: bindings come from quantifier prefixes
+    /// of a handful of variables, where a linear scan is both faster
+    /// and allocation-free for the hot instantiation path.
+    pub fn subst(&self, bank: &mut TermBank, map: &[(Sym, TermId)]) -> Formula {
         match self {
             Formula::True => Formula::True,
             Formula::False => Formula::False,
@@ -218,10 +220,11 @@ impl Formula {
                 Formula::Iff(Box::new(p.subst(bank, map)), Box::new(q.subst(bank, map)))
             }
             Formula::Forall { vars, triggers, body } => {
-                let mut inner = map.clone();
-                for v in vars {
-                    inner.remove(v);
-                }
+                let inner: Vec<(Sym, TermId)> = map
+                    .iter()
+                    .copied()
+                    .filter(|(s, _)| !vars.contains(s))
+                    .collect();
                 Formula::Forall {
                     vars: vars.clone(),
                     triggers: triggers
@@ -232,10 +235,11 @@ impl Formula {
                 }
             }
             Formula::Exists { vars, body } => {
-                let mut inner = map.clone();
-                for v in vars {
-                    inner.remove(v);
-                }
+                let inner: Vec<(Sym, TermId)> = map
+                    .iter()
+                    .copied()
+                    .filter(|(s, _)| !vars.contains(s))
+                    .collect();
                 Formula::Exists {
                     vars: vars.clone(),
                     body: Box::new(body.subst(bank, &inner)),
@@ -349,8 +353,7 @@ mod tests {
         let vsym = b.sym("V");
         let v = b.var("V");
         let a = b.app0("a");
-        let mut map = HashMap::new();
-        map.insert(vsym, a);
+        let map = vec![(vsym, a)];
         let open = Formula::Holds(v);
         assert_eq!(open.subst(&mut b, &map), Formula::Holds(a));
         let closed = Formula::Forall {

@@ -23,7 +23,8 @@ use crate::cc::Cc;
 use crate::formula::Formula;
 use crate::term::{Sym, TermBank, TermData, TermId};
 use cobalt_support::fault;
-use std::collections::{HashMap, HashSet};
+use cobalt_support::{FastMap, FastSet};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -298,6 +299,11 @@ pub struct Solver {
     limits: Limits,
     budget: Budget,
     skolem_counter: u64,
+    /// Congruence-closure context kept warm between `prove` calls.
+    /// The permanent (below-savepoint) layer only ever registers bank
+    /// terms — hash-consing guarantees a merge-free sync — so the next
+    /// call resumes from it instead of re-registering every term.
+    cc_cache: Option<Cc>,
 }
 
 impl Solver {
@@ -310,6 +316,18 @@ impl Solver {
     pub fn with_limits(limits: Limits) -> Self {
         Solver {
             limits,
+            ..Solver::default()
+        }
+    }
+
+    /// Creates a solver whose bank overlays a frozen shared base (see
+    /// [`TermBank::with_base`]): the base vocabulary is visible, and
+    /// search-time terms (skolems, instances) stay private to this
+    /// solver. Batch verification uses this to encode a rule's
+    /// obligations once and prove each against a cheap overlay.
+    pub fn with_base_bank(base: Arc<TermBank>) -> Self {
+        Solver {
+            bank: TermBank::with_base(base),
             ..Solver::default()
         }
     }
@@ -370,16 +388,14 @@ impl Solver {
     pub fn prove(&mut self, task: &ProofTask) -> Outcome {
         let start = Instant::now();
         fault::point("solver.prove");
-        // Degenerate limits short-circuit before any work: a term cap
-        // at or below the already-interned bank can make no progress
-        // (previously this was only noticed once instantiation began).
-        if self.bank.len() >= self.limits.max_terms {
+        // Degenerate limits short-circuit before any work. The term cap
+        // bounds terms *minted during this call* — never the bank's
+        // total size, which depends on how much vocabulary the caller
+        // (or a shared base layer) interned up front — so only a cap of
+        // zero can make no progress at all.
+        if self.limits.max_terms == 0 {
             return Outcome::Unknown {
-                reason: format!(
-                    "term limit of {} exceeded before search began ({} terms interned)",
-                    self.limits.max_terms,
-                    self.bank.len()
-                ),
+                reason: "term limit of 0 exceeded before search began".into(),
                 kind: UnknownKind::ResourceLimit,
                 open_branch: Vec::new(),
                 stats: Stats::default(),
@@ -415,25 +431,89 @@ impl Solver {
                 elapsed: start.elapsed(),
             };
         }
-        let mut formulas: Vec<Formula> = Vec::with_capacity(task.hypotheses.len() + 1);
-        for h in &task.hypotheses {
-            formulas.push(h.clone().nnf());
+        // Canonicalize the NNF hypothesis set before building any search
+        // state: flatten conjunctions, drop `true`, dedup structural
+        // repeats, and close immediately on an explicit `false` or an
+        // exact literal/negation pair (the cheap contradictions that
+        // otherwise cost a full tableau setup to notice).
+        let mut work: VecDeque<Formula> =
+            task.hypotheses.iter().map(|h| h.clone().nnf()).collect();
+        work.push_back(task.goal.clone().negate().nnf());
+        let mut formulas: Vec<Formula> = Vec::with_capacity(work.len());
+        let mut seen: FastSet<Formula> = FastSet::default();
+        let mut contradiction = false;
+        while let Some(f) = work.pop_front() {
+            match f {
+                Formula::True => {}
+                Formula::False => {
+                    contradiction = true;
+                    break;
+                }
+                Formula::And(ps) => {
+                    for p in ps.into_iter().rev() {
+                        work.push_front(p);
+                    }
+                }
+                f => {
+                    let neg = match &f {
+                        Formula::Not(p) => Some((**p).clone()),
+                        Formula::Eq(..) | Formula::Holds(..) => {
+                            Some(Formula::Not(Box::new(f.clone())))
+                        }
+                        _ => None,
+                    };
+                    if neg.is_some_and(|n| seen.contains(&n)) {
+                        contradiction = true;
+                        break;
+                    }
+                    if seen.insert(f.clone()) {
+                        formulas.push(f);
+                    }
+                }
+            }
         }
-        formulas.push(task.goal.clone().negate().nnf());
-        let mut cc = Cc::new();
-        cc.sync(&self.bank);
-        let mut relevant = HashSet::new();
+        if contradiction {
+            return Outcome::Proved {
+                stats: Stats {
+                    branches: 1,
+                    ..Stats::default()
+                },
+                elapsed: start.elapsed(),
+            };
+        }
+        let start_terms = self.bank.len();
+        let mut cc = self.cc_cache.take().unwrap_or_default();
+        cc.ensure(&self.bank);
+        let mut relevant = RelevantSet::new(&self.bank);
         for f in &formulas {
-            mark_formula(&self.bank, &mut relevant, f);
+            relevant.mark_formula(&self.bank, f);
         }
-        let branch = Branch {
+        // Register the task's relevant terms — and only those — into
+        // the permanent layer. Under a batch-shared bank the bank holds
+        // a whole rule's vocabulary; registering every bank term would
+        // make each obligation pay for its siblings. The permanent
+        // layer stays merge-free (hash-consing keeps virgin signatures
+        // unique), keeping the cached context reusable forever.
+        for &(t, _) in &relevant.order {
+            cc.register(t, &self.bank);
+        }
+        // Base savepoint: every search-time effect (merges, diseqs,
+        // registrations of minted terms) lands on the undo trail and is
+        // rewound before the context goes back in the cache.
+        cc.save();
+        let reg_upto = relevant.order.len();
+        let mut branch = Branch {
             cc,
             todo: formulas,
             splits: Vec::new(),
+            consumed_log: Vec::new(),
             foralls: Vec::new(),
-            done_instances: HashSet::new(),
+            done_instances: FastSet::default(),
+            done_order: Vec::new(),
             inst_rounds: 0,
             relevant,
+            reg_upto,
+            array_quiet_at: None,
         };
         let meter = Meter::new(start, &self.limits, &self.budget);
         let mut search = Search {
@@ -441,14 +521,20 @@ impl Solver {
             stats: Stats::default(),
             limit_hit: None,
             meter,
+            start_terms,
+            debug: std::env::var_os("COBALT_LOGIC_DEBUG").is_some(),
         };
-        let closed = search.close(branch);
+        let closed = search.close(&mut branch);
         let stats = search.stats.clone();
+        let limit_hit = search.limit_hit.take();
+        let mut cc = branch.cc;
+        cc.restore_all();
+        self.cc_cache = Some(cc);
         let elapsed = start.elapsed();
         match closed {
             BranchResult::Closed => Outcome::Proved { stats, elapsed },
             BranchResult::Open(lits) => {
-                let (reason, kind) = match search.limit_hit {
+                let (reason, kind) = match limit_hit {
                     Some(reason) => (reason, UnknownKind::ResourceLimit),
                     None => (
                         "open branch: goal not provable from hypotheses".into(),
@@ -473,55 +559,188 @@ impl Solver {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Branch {
     cc: Cc,
     todo: Vec<Formula>,
-    splits: Vec<Vec<Formula>>,
+    splits: Vec<PendingSplit>,
+    /// Positions in `splits` consumed by case splitting, in consumption
+    /// order. Consumption is flagged in place (never removed) so that a
+    /// branch restore can un-flag exactly the entries consumed since
+    /// the savepoint — a length pair in [`BranchMark`] — instead of
+    /// deep-cloning every pending disjunction per split alternative.
+    consumed_log: Vec<usize>,
     foralls: Vec<Formula>,
-    done_instances: HashSet<(usize, Vec<TermId>)>,
+    done_instances: FastSet<(usize, InstKey)>,
+    /// Insertion journal for `done_instances`, so a branch restore can
+    /// pop exactly the keys recorded since the savepoint.
+    done_order: Vec<(usize, InstKey)>,
     inst_rounds: usize,
     /// Terms appearing in formulas asserted on *this* branch. The term
-    /// bank is shared between branches, so theory propagation and
-    /// trigger matching must ignore foreign terms (e.g. skolems minted
-    /// by sibling branches) or the search degenerates.
-    relevant: HashSet<TermId>,
+    /// bank is shared between branches (and, under a base layer, with
+    /// the whole batch), so theory propagation and trigger matching
+    /// must ignore foreign terms (e.g. skolems minted by sibling
+    /// branches) or the search degenerates.
+    relevant: RelevantSet,
+    /// How many entries of `relevant.order` have been registered in the
+    /// congruence core. The core registers relevant terms on demand
+    /// (never the whole shared bank); this watermark is what
+    /// [`Search::sync_cc`] advances, and a branch restore rewinds it in
+    /// lockstep with the relevant-set rollback and the `Cc` trail.
+    reg_upto: usize,
+    /// Memo for [`Search::propagate_arrays`]: the `(cc version,
+    /// selects, updates)` fingerprint of the last pass that came up
+    /// quiet. The scan is a deterministic function of exactly that
+    /// state, so matching fingerprints let the pass return `Quiet`
+    /// without rescanning. Never rolled back: `Cc::restore` bumps the
+    /// version, so a stale memo can only miss, not lie.
+    array_quiet_at: Option<(u64, usize, usize)>,
 }
 
-/// Adds `t` and all its subterms to the relevant set.
-fn mark_term(bank: &TermBank, relevant: &mut HashSet<TermId>, t: TermId) {
-    if !relevant.insert(t) {
-        return;
-    }
-    if let TermData::App(_, args) = bank.data(t) {
-        for &a in args.clone().iter() {
-            mark_term(bank, relevant, a);
+/// The argument tuple identifying one instance of a universal: the
+/// terms bound to its variables, in prefix order. Inline for the
+/// overwhelmingly common arities — instantiation re-derives every
+/// candidate binding each round and skips the already-done ones, so
+/// the skip path must not allocate just to build a set key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum InstKey {
+    One(TermId),
+    Two(TermId, TermId),
+    Many(Vec<TermId>),
+}
+
+impl InstKey {
+    fn of(vars: &[Sym], binding: &Binding) -> InstKey {
+        let get = |i: usize| bound(binding, vars[i]).expect("binding covers all vars");
+        match vars.len() {
+            1 => InstKey::One(get(0)),
+            2 => InstKey::Two(get(0), get(1)),
+            _ => InstKey::Many((0..vars.len()).map(get).collect()),
         }
     }
 }
 
-/// Adds every term of a formula to the relevant set.
-fn mark_formula(bank: &TermBank, relevant: &mut HashSet<TermId>, f: &Formula) {
-    match f {
-        Formula::True | Formula::False => {}
-        Formula::Eq(a, b) => {
-            mark_term(bank, relevant, *a);
-            mark_term(bank, relevant, *b);
+/// A pending boolean disjunction awaiting a case split.
+#[derive(Debug)]
+struct PendingSplit {
+    formulas: Vec<Formula>,
+    consumed: bool,
+}
+
+/// The branch's relevant terms, indexed for the hot loops: a membership
+/// set, a deterministic *mark order* (every output-affecting iteration
+/// walks it, never numeric `TermId` order — ids depend on the bank
+/// layout, which differs between a fresh and a batch-shared bank), a
+/// per-top-symbol index of ground applications for trigger matching,
+/// and pre-classified `select`/`update` applications for the array
+/// theory.
+#[derive(Debug, Default)]
+struct RelevantSet {
+    set: FastSet<TermId>,
+    /// Marked terms in mark order; the symbol is `Some(f)` exactly when
+    /// the term was indexed under `by_top[f]` (a ground application).
+    order: Vec<(TermId, Option<Sym>)>,
+    /// Ground applications by top symbol, in mark order.
+    by_top: FastMap<Sym, Vec<TermId>>,
+    /// Ground `select(m, k)` applications: `(term, m, k)`.
+    selects: Vec<(TermId, TermId, TermId)>,
+    /// Ground `update(m, k, v)` applications: `(term, m, k, v)`.
+    updates: Vec<(TermId, TermId, TermId, TermId)>,
+    select_sym: Option<Sym>,
+    update_sym: Option<Sym>,
+}
+
+/// A [`RelevantSet`] checkpoint; everything is append-only, so lengths
+/// suffice.
+#[derive(Debug, Clone, Copy)]
+struct RelevantMark {
+    order_len: usize,
+    selects_len: usize,
+    updates_len: usize,
+}
+
+impl RelevantSet {
+    fn new(bank: &TermBank) -> Self {
+        RelevantSet {
+            // All function symbols in an obligation are interned before
+            // `prove` (search only mints skolem constants and
+            // substitution instances), so resolving once here is sound.
+            select_sym: bank.find_sym(SELECT),
+            update_sym: bank.find_sym(UPDATE),
+            ..RelevantSet::default()
         }
-        Formula::Holds(t) => mark_term(bank, relevant, *t),
-        Formula::Not(p) => mark_formula(bank, relevant, p),
-        Formula::And(ps) | Formula::Or(ps) => {
-            for p in ps {
-                mark_formula(bank, relevant, p);
+    }
+
+    /// Adds `t` and all its subterms.
+    fn mark_term(&mut self, bank: &TermBank, t: TermId) {
+        if !self.set.insert(t) {
+            return;
+        }
+        let mut top = None;
+        if let TermData::App(f, args) = bank.data(t) {
+            let f = *f;
+            for &a in args {
+                self.mark_term(bank, a);
+            }
+            if !bank.has_var(t) {
+                top = Some(f);
+                self.by_top.entry(f).or_default().push(t);
+                if Some(f) == self.select_sym && args.len() == 2 {
+                    self.selects.push((t, args[0], args[1]));
+                } else if Some(f) == self.update_sym && args.len() == 3 {
+                    self.updates.push((t, args[0], args[1], args[2]));
+                }
             }
         }
-        Formula::Implies(p, q) | Formula::Iff(p, q) => {
-            mark_formula(bank, relevant, p);
-            mark_formula(bank, relevant, q);
+        self.order.push((t, top));
+    }
+
+    /// Adds every term of a formula.
+    fn mark_formula(&mut self, bank: &TermBank, f: &Formula) {
+        match f {
+            Formula::True | Formula::False => {}
+            Formula::Eq(a, b) => {
+                self.mark_term(bank, *a);
+                self.mark_term(bank, *b);
+            }
+            Formula::Holds(t) => self.mark_term(bank, *t),
+            Formula::Not(p) => self.mark_formula(bank, p),
+            Formula::And(ps) | Formula::Or(ps) => {
+                for p in ps {
+                    self.mark_formula(bank, p);
+                }
+            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                self.mark_formula(bank, p);
+                self.mark_formula(bank, q);
+            }
+            Formula::Forall { body, .. } | Formula::Exists { body, .. } => {
+                self.mark_formula(bank, body);
+            }
         }
-        Formula::Forall { body, .. } | Formula::Exists { body, .. } => {
-            mark_formula(bank, relevant, body);
+    }
+
+    fn checkpoint(&self) -> RelevantMark {
+        RelevantMark {
+            order_len: self.order.len(),
+            selects_len: self.selects.len(),
+            updates_len: self.updates.len(),
         }
+    }
+
+    fn rollback(&mut self, mark: RelevantMark) {
+        while self.order.len() > mark.order_len {
+            let (t, top) = self.order.pop().expect("len checked");
+            self.set.remove(&t);
+            if let Some(f) = top {
+                self.by_top
+                    .get_mut(&f)
+                    .expect("indexed symbol has a bucket")
+                    .pop();
+            }
+        }
+        self.selects.truncate(mark.selects_len);
+        self.updates.truncate(mark.updates_len);
     }
 }
 
@@ -536,6 +755,28 @@ struct Search<'a> {
     stats: Stats,
     limit_hit: Option<String>,
     meter: Meter,
+    /// Bank size when the search began. The term cap bounds
+    /// `bank.len() - start_terms` — terms *minted by this search* — so
+    /// limits behave identically whether the bank is fresh or layered
+    /// on a large shared base.
+    start_terms: usize,
+    /// `COBALT_LOGIC_DEBUG` presence, resolved once per search: the
+    /// split loop is far too hot for a `getenv` per iteration.
+    debug: bool,
+}
+
+/// Checkpoint of everything [`Search::split`] must rewind between
+/// alternatives. Paired with a [`Cc::save`] savepoint taken at the same
+/// moment.
+struct BranchMark {
+    todo_len: usize,
+    splits_len: usize,
+    consumed_len: usize,
+    foralls_len: usize,
+    done_len: usize,
+    inst_rounds: usize,
+    relevant: RelevantMark,
+    reg_upto: usize,
 }
 
 impl Search<'_> {
@@ -552,30 +793,60 @@ impl Search<'_> {
         false
     }
 
+    /// Terms interned since this search began.
+    fn minted(&self) -> usize {
+        self.solver.bank.len() - self.start_terms
+    }
+
+    /// Brings the congruence core up to date with the relevant set:
+    /// registers every term marked since the last call. This — not a
+    /// whole-bank sweep — is how new terms (skolems, instances, theory
+    /// propagations) join the core, so closure cost tracks the branch's
+    /// footprint even when the bank is shared across a whole batch of
+    /// obligations.
+    fn sync_cc(&mut self, branch: &mut Branch) {
+        branch.cc.ensure(&self.solver.bank);
+        while branch.reg_upto < branch.relevant.order.len() {
+            let (t, _) = branch.relevant.order[branch.reg_upto];
+            branch.cc.register(t, &self.solver.bank);
+            branch.reg_upto += 1;
+        }
+    }
+
+    /// Registers the distinguished `$true` constant, which backs
+    /// `Holds` literals without ever being marked relevant (it must not
+    /// feed trigger matching or binding enumeration).
+    fn register_tt(&mut self, branch: &mut Branch) -> TermId {
+        let tt = self.solver.tt();
+        branch.cc.ensure(&self.solver.bank);
+        branch.cc.register(tt, &self.solver.bank);
+        tt
+    }
+
     /// Attempts to close a branch; returns `Closed` if a contradiction
     /// was derived on every sub-branch.
-    fn close(&mut self, mut branch: Branch) -> BranchResult {
+    fn close(&mut self, branch: &mut Branch) -> BranchResult {
         loop {
             if self.out_of_budget() {
                 return BranchResult::Open(vec![]);
             }
             // 1. Assert pending formulas into the congruence core.
+            let mut conflict = false;
             while let Some(f) = branch.todo.pop() {
                 if self.out_of_budget() {
                     return BranchResult::Open(vec![]);
                 }
-                if self.assert_formula(&mut branch, f) {
-                    // conflict
-                    self.stats.branches += 1;
-                    return BranchResult::Closed;
+                if self.assert_formula(branch, f) {
+                    conflict = true;
+                    break;
                 }
             }
-            if branch.cc.in_conflict() {
+            if conflict || branch.cc.in_conflict() {
                 self.stats.branches += 1;
                 return BranchResult::Closed;
             }
             // 2. Array theory propagation.
-            match self.propagate_arrays(&mut branch) {
+            match self.propagate_arrays(branch) {
                 ArrayStep::Progress => continue,
                 ArrayStep::Conflict => {
                     self.stats.branches += 1;
@@ -590,12 +861,14 @@ impl Search<'_> {
                 ArrayStep::Quiet => {}
             }
             // 3. Boolean case splits.
-            if let Some(pos) = self.pick_split(&mut branch) {
-                let disjuncts = branch.splits.remove(pos);
+            if let Some(pos) = self.pick_split(branch) {
+                branch.splits[pos].consumed = true;
+                branch.consumed_log.push(pos);
                 let mut remaining = Vec::new();
                 let mut satisfied = false;
-                for d in disjuncts {
-                    match self.literal_status(&mut branch, &d) {
+                for di in 0..branch.splits[pos].formulas.len() {
+                    let d = branch.splits[pos].formulas[di].clone();
+                    match self.literal_status(branch, &d) {
                         LitStatus::True => {
                             satisfied = true;
                             break;
@@ -622,7 +895,7 @@ impl Search<'_> {
             // 4. Quantifier instantiation.
             if branch.inst_rounds < self.solver.limits.max_inst_rounds {
                 branch.inst_rounds += 1;
-                let instances = self.instantiate(&mut branch);
+                let instances = self.instantiate(branch);
                 if !instances.is_empty() {
                     self.stats.instances += instances.len();
                     branch.todo.extend(instances);
@@ -642,18 +915,54 @@ impl Search<'_> {
                 ));
             }
             // Nothing more to do: the branch stays open.
-            return BranchResult::Open(self.describe_branch(&mut branch));
+            return BranchResult::Open(self.describe_branch(branch));
         }
     }
 
-    /// Splits the branch on the given alternatives; closed iff all close.
-    fn split(&mut self, branch: Branch, alternatives: Vec<Formula>) -> BranchResult {
+    fn mark(&mut self, branch: &mut Branch) -> BranchMark {
+        branch.cc.save();
+        BranchMark {
+            todo_len: branch.todo.len(),
+            splits_len: branch.splits.len(),
+            consumed_len: branch.consumed_log.len(),
+            foralls_len: branch.foralls.len(),
+            done_len: branch.done_order.len(),
+            inst_rounds: branch.inst_rounds,
+            relevant: branch.relevant.checkpoint(),
+            reg_upto: branch.reg_upto,
+        }
+    }
+
+    fn restore(&mut self, branch: &mut Branch, mark: BranchMark) {
+        branch.cc.restore();
+        branch.todo.truncate(mark.todo_len);
+        while branch.consumed_log.len() > mark.consumed_len {
+            let pos = branch.consumed_log.pop().expect("len checked");
+            branch.splits[pos].consumed = false;
+        }
+        branch.splits.truncate(mark.splits_len);
+        branch.foralls.truncate(mark.foralls_len);
+        while branch.done_order.len() > mark.done_len {
+            let key = branch.done_order.pop().expect("len checked");
+            branch.done_instances.remove(&key);
+        }
+        branch.inst_rounds = mark.inst_rounds;
+        branch.relevant.rollback(mark.relevant);
+        branch.reg_upto = mark.reg_upto;
+    }
+
+    /// Splits the branch on the given alternatives; closed iff all
+    /// close. Alternatives share one branch via savepoint/rewind (the
+    /// undo trail in [`Cc`]) instead of deep-cloning per alternative;
+    /// an open result propagates straight out, leaving its savepoints
+    /// for the prove-level `restore_all`.
+    fn split(&mut self, branch: &mut Branch, alternatives: Vec<Formula>) -> BranchResult {
         fault::point("solver.split");
         if self.out_of_budget() {
             return BranchResult::Open(vec![]);
         }
         self.stats.splits += 1;
-        if std::env::var_os("COBALT_LOGIC_DEBUG").is_some() && self.stats.splits <= 64 {
+        if self.debug && self.stats.splits <= 64 {
             let parts: Vec<String> = alternatives
                 .iter()
                 .map(|a| a.display(&self.solver.bank))
@@ -667,17 +976,19 @@ impl Search<'_> {
             ));
             return BranchResult::Open(vec![]);
         }
+        // Splits only fire once the todo queue is drained, so the mark
+        // below need not capture queue contents beyond its (zero) length.
+        debug_assert!(branch.todo.is_empty(), "split on a non-drained todo queue");
         let n = alternatives.len();
-        let mut branch = Some(branch);
         for (i, alt) in alternatives.into_iter().enumerate() {
-            let mut sub = if i + 1 == n {
-                branch.take().expect("taken once, on the last alternative")
-            } else {
-                branch.as_ref().expect("present until last").clone()
-            };
-            sub.todo.push(alt);
-            let res = self.close(sub);
-            if std::env::var_os("COBALT_LOGIC_DEBUG").is_some() && self.stats.splits <= 64 {
+            let last = i + 1 == n;
+            // The last alternative continues in place: its effects are
+            // covered by the enclosing savepoint (or the prove-level
+            // base savepoint at the top).
+            let mark = if last { None } else { Some(self.mark(branch)) };
+            branch.todo.push(alt);
+            let res = self.close(branch);
+            if self.debug && self.stats.splits <= 64 {
                 eprintln!(
                     "[alt {i} of split] {}",
                     match &res {
@@ -687,7 +998,11 @@ impl Search<'_> {
                 );
             }
             match res {
-                BranchResult::Closed => {}
+                BranchResult::Closed => {
+                    if let Some(mark) = mark {
+                        self.restore(branch, mark);
+                    }
+                }
                 open => return open,
             }
         }
@@ -696,30 +1011,30 @@ impl Search<'_> {
 
     /// Asserts one NNF formula; returns true on immediate conflict.
     fn assert_formula(&mut self, branch: &mut Branch, f: Formula) -> bool {
-        mark_formula(&self.solver.bank, &mut branch.relevant, &f);
+        branch.relevant.mark_formula(&self.solver.bank, &f);
         match f {
             Formula::True => false,
             Formula::False => true,
             Formula::Eq(a, b) => {
-                branch.cc.sync(&self.solver.bank);
+                self.sync_cc(branch);
                 branch.cc.merge(a, b, &self.solver.bank);
                 branch.cc.in_conflict()
             }
             Formula::Holds(t) => {
-                let tt = self.solver.tt();
-                branch.cc.sync(&self.solver.bank);
+                let tt = self.register_tt(branch);
+                self.sync_cc(branch);
                 branch.cc.merge(t, tt, &self.solver.bank);
                 branch.cc.in_conflict()
             }
             Formula::Not(inner) => match *inner {
                 Formula::Eq(a, b) => {
-                    branch.cc.sync(&self.solver.bank);
+                    self.sync_cc(branch);
                     branch.cc.assert_diseq(a, b, &self.solver.bank);
                     branch.cc.in_conflict()
                 }
                 Formula::Holds(t) => {
-                    let tt = self.solver.tt();
-                    branch.cc.sync(&self.solver.bank);
+                    let tt = self.register_tt(branch);
+                    self.sync_cc(branch);
                     branch.cc.assert_diseq(t, tt, &self.solver.bank);
                     branch.cc.in_conflict()
                 }
@@ -734,7 +1049,10 @@ impl Search<'_> {
                 false
             }
             Formula::Or(ps) => {
-                branch.splits.push(ps);
+                branch.splits.push(PendingSplit {
+                    formulas: ps,
+                    consumed: false,
+                });
                 false
             }
             f @ Formula::Forall { .. } => {
@@ -742,7 +1060,7 @@ impl Search<'_> {
                 false
             }
             Formula::Exists { vars, body } => {
-                if std::env::var_os("COBALT_LOGIC_DEBUG").is_some() {
+                if self.debug {
                     eprintln!(
                         "[skolemize] splits={} foralls={} inst_rounds={}",
                         branch.splits.len(),
@@ -750,11 +1068,11 @@ impl Search<'_> {
                         branch.inst_rounds
                     );
                 }
-                let mut map = HashMap::new();
+                let mut map = Vec::with_capacity(vars.len());
                 for v in vars {
                     let name = self.solver.bank.sym_name(v).to_string();
                     let sk = self.solver.fresh_skolem(&name);
-                    map.insert(v, sk);
+                    map.push((v, sk));
                 }
                 let inst = body.subst(&mut self.solver.bank, &map);
                 branch.todo.push(inst);
@@ -768,7 +1086,7 @@ impl Search<'_> {
     }
 
     fn literal_status(&mut self, branch: &mut Branch, f: &Formula) -> LitStatus {
-        branch.cc.sync(&self.solver.bank);
+        self.sync_cc(branch);
         match f {
             Formula::True => LitStatus::True,
             Formula::False => LitStatus::False,
@@ -782,8 +1100,7 @@ impl Search<'_> {
                 }
             }
             Formula::Holds(t) => {
-                let tt = self.solver.tt();
-                branch.cc.sync(&self.solver.bank);
+                let tt = self.register_tt(branch);
                 if branch.cc.are_eq(*t, tt) {
                     LitStatus::True
                 } else if branch.cc.are_diseq(*t, tt, &self.solver.bank) {
@@ -802,51 +1119,40 @@ impl Search<'_> {
     }
 
     fn pick_split(&mut self, branch: &mut Branch) -> Option<usize> {
-        if branch.splits.is_empty() {
-            None
-        } else {
-            // Prefer the smallest disjunction (cheapest split).
-            let mut best = 0;
-            for i in 1..branch.splits.len() {
-                if branch.splits[i].len() < branch.splits[best].len() {
-                    best = i;
-                }
+        // Prefer the smallest unconsumed disjunction (cheapest split).
+        let mut best: Option<usize> = None;
+        for i in 0..branch.splits.len() {
+            if branch.splits[i].consumed {
+                continue;
             }
-            Some(best)
+            if best.map_or(true, |b| {
+                branch.splits[i].formulas.len() < branch.splits[b].formulas.len()
+            }) {
+                best = Some(i);
+            }
         }
+        best
     }
 
     /// Array theory: for every `select(m, k)` whose map class contains
     /// an `update(m2, k2, v2)`, resolve by index (dis)equality or
-    /// request a case split.
+    /// request a case split. The candidates come pre-classified off the
+    /// relevant set (no bank scan); length snapshots keep the iteration
+    /// stable while read-over-write mints new selects into the set.
     fn propagate_arrays(&mut self, branch: &mut Branch) -> ArrayStep {
-        branch.cc.sync(&self.solver.bank);
-        let select_sym = self.solver.bank.sym(SELECT);
-        let update_sym = self.solver.bank.sym(UPDATE);
-        let n = self.solver.bank.len();
-        let mut selects = Vec::new();
-        let mut updates = Vec::new();
-        for i in 0..n {
-            let t = TermId(i as u32);
-            if !branch.relevant.contains(&t) {
-                continue;
-            }
-            match self.solver.bank.data(t) {
-                TermData::App(f, args) if *f == select_sym && args.len() == 2
-                    && !self.solver.bank.has_var(t) => {
-                        selects.push((t, args[0], args[1]));
-                    }
-                TermData::App(f, args) if *f == update_sym && args.len() == 3
-                    && !self.solver.bank.has_var(t) => {
-                        updates.push((t, args[0], args[1], args[2]));
-                    }
-                _ => {}
-            }
+        self.sync_cc(branch);
+        let n_selects = branch.relevant.selects.len();
+        let n_updates = branch.relevant.updates.len();
+        let memo_key = (branch.cc.version(), n_selects, n_updates);
+        if branch.array_quiet_at == Some(memo_key) {
+            return ArrayStep::Quiet;
         }
         let mut pending_split: Option<(TermId, TermId)> = None;
         let mut progress = false;
-        for &(s, m, k) in &selects {
-            for &(u, m2, k2, v2) in &updates {
+        for si in 0..n_selects {
+            let (s, m, k) = branch.relevant.selects[si];
+            for ui in 0..n_updates {
+                let (u, m2, k2, v2) = branch.relevant.updates[ui];
                 if !branch.cc.are_eq(u, m) {
                     continue;
                 }
@@ -859,13 +1165,13 @@ impl Search<'_> {
                         }
                     }
                 } else if branch.cc.are_diseq(k, k2, &self.solver.bank) {
-                    if self.solver.bank.len() >= self.solver.limits.max_terms {
+                    if self.minted() >= self.solver.limits.max_terms {
                         self.limit_hit = Some("term limit exceeded".into());
                         return ArrayStep::Quiet;
                     }
                     let s2 = self.solver.select(m2, k);
-                    mark_term(&self.solver.bank, &mut branch.relevant, s2);
-                    branch.cc.sync(&self.solver.bank);
+                    branch.relevant.mark_term(&self.solver.bank, s2);
+                    self.sync_cc(branch);
                     if !branch.cc.are_eq(s, s2) {
                         branch.cc.merge(s, s2, &self.solver.bank);
                         progress = true;
@@ -883,6 +1189,7 @@ impl Search<'_> {
         } else if let Some((k, k2)) = pending_split {
             ArrayStep::Split(k, k2)
         } else {
+            branch.array_quiet_at = Some(memo_key);
             ArrayStep::Quiet
         }
     }
@@ -890,129 +1197,66 @@ impl Search<'_> {
     /// Trigger-based instantiation of universal hypotheses.
     fn instantiate(&mut self, branch: &mut Branch) -> Vec<Formula> {
         let mut out = Vec::new();
-        let foralls = branch.foralls.clone();
-        for (fi, f) in foralls.iter().enumerate() {
-            let Formula::Forall { vars, triggers, body } = f else {
-                continue;
+        for fi in 0..branch.foralls.len() {
+            let (vars, triggers) = match &branch.foralls[fi] {
+                Formula::Forall { vars, triggers, .. } => (vars.clone(), triggers.clone()),
+                _ => continue,
             };
             let bindings = if triggers.is_empty() {
-                self.enumerate_bindings(branch, vars)
+                enumerate_bindings(&self.solver.bank, &branch.relevant, &vars)
             } else {
                 let mut all = Vec::new();
-                for &trig in triggers {
-                    all.extend(self.match_trigger(branch, trig, vars));
+                for &trig in &triggers {
+                    match_trigger(&self.solver.bank, &branch.relevant, trig, &vars, &mut all);
                 }
                 all
             };
             for binding in bindings {
-                let key: Vec<TermId> = vars.iter().map(|v| binding[v]).collect();
-                if !branch.done_instances.insert((fi, key)) {
+                let key = (fi, InstKey::of(&vars, &binding));
+                if branch.done_instances.contains(&key) {
                     continue;
                 }
-                if self.solver.bank.len() >= self.solver.limits.max_terms {
+                // Limit and budget checks come BEFORE the done-instance
+                // bookkeeping: an instance discarded by a tripped limit
+                // must stay eligible for a later round or a retry at a
+                // larger budget, not be remembered as already produced.
+                if self.minted() >= self.solver.limits.max_terms {
                     self.limit_hit = Some("term limit exceeded during instantiation".into());
                     return out;
                 }
                 if self.out_of_budget() {
                     return out;
                 }
-                let inst = body.subst(&mut self.solver.bank, &binding);
-                out.push(inst);
+                branch.done_instances.insert(key.clone());
+                branch.done_order.push(key);
+                let Formula::Forall { body, .. } = &branch.foralls[fi] else {
+                    unreachable!("checked above");
+                };
+                let body = (**body).clone();
+                out.push(body.subst(&mut self.solver.bank, &binding));
             }
         }
         out
-    }
-
-    /// For trigger-less single-variable quantifiers: every ground term
-    /// relevant to the branch (capped).
-    fn enumerate_bindings(
-        &mut self,
-        branch: &Branch,
-        vars: &[Sym],
-    ) -> Vec<HashMap<Sym, TermId>> {
-        if vars.len() != 1 {
-            return Vec::new();
-        }
-        const ENUM_CAP: usize = 512;
-        let mut relevant: Vec<TermId> = branch.relevant.iter().copied().collect();
-        relevant.sort_unstable();
-        let mut out = Vec::new();
-        for t in relevant.into_iter().take(ENUM_CAP) {
-            if matches!(self.solver.bank.data(t), TermData::Var(_)) || self.solver.bank.has_var(t)
-            {
-                continue;
-            }
-            let mut m = HashMap::new();
-            m.insert(vars[0], t);
-            out.push(m);
-        }
-        out
-    }
-
-    /// Matches one trigger pattern against the branch's ground terms.
-    fn match_trigger(
-        &mut self,
-        branch: &mut Branch,
-        trigger: TermId,
-        vars: &[Sym],
-    ) -> Vec<HashMap<Sym, TermId>> {
-        let mut out = Vec::new();
-        let mut relevant: Vec<TermId> = branch.relevant.iter().copied().collect();
-        relevant.sort_unstable();
-        for t in relevant {
-            if self.solver.bank.has_var(t) {
-                continue;
-            }
-            let mut binding = HashMap::new();
-            if self.match_pattern(trigger, t, &mut binding)
-                && vars.iter().all(|v| binding.contains_key(v))
-            {
-                out.push(binding);
-            }
-        }
-        out
-    }
-
-    fn match_pattern(
-        &self,
-        pat: TermId,
-        t: TermId,
-        binding: &mut HashMap<Sym, TermId>,
-    ) -> bool {
-        match self.solver.bank.data(pat).clone() {
-            TermData::Var(v) => match binding.get(&v) {
-                Some(&prev) => prev == t,
-                None => {
-                    binding.insert(v, t);
-                    true
-                }
-            },
-            TermData::Int(n) => matches!(self.solver.bank.data(t), TermData::Int(m) if *m == n),
-            TermData::App(f, pargs) => match self.solver.bank.data(t).clone() {
-                TermData::App(g, targs) if g == f && targs.len() == pargs.len() => pargs
-                    .iter()
-                    .zip(targs.iter())
-                    .all(|(&p, &a)| self.match_pattern(p, a, binding)),
-                _ => false,
-            },
-        }
     }
 
     /// Renders the open branch as a counterexample context (the paper's
     /// §7 error-reporting artifact): the equivalence classes the branch
     /// committed to among named constants, plus whatever remained
-    /// undecided or unsaturated.
+    /// undecided or unsaturated. Iterates the relevant set in mark
+    /// order — never numeric `TermId` order, which depends on the bank
+    /// layout — so the rendering is identical under fresh and
+    /// batch-shared banks.
     fn describe_branch(&mut self, branch: &mut Branch) -> Vec<String> {
         let mut out = Vec::new();
         // Merged classes among the branch's named constants.
-        let mut named: Vec<TermId> = branch
+        let named: Vec<TermId> = branch
             .relevant
+            .order
             .iter()
-            .copied()
+            .map(|&(t, _)| t)
             .filter(|&t| matches!(self.solver.bank.data(t), TermData::App(_, args) if args.is_empty()))
             .collect();
-        named.sort_unstable();
-        let mut classes: HashMap<TermId, Vec<TermId>> = HashMap::new();
+        let mut classes: FastMap<TermId, Vec<TermId>> = FastMap::default();
         for t in named {
             let r = branch.cc.find(t);
             classes.entry(r).or_default().push(t);
@@ -1036,11 +1280,15 @@ impl Search<'_> {
         let room = MAX_CONTEXT_LITERALS + 1;
         let mut dropped = 0usize;
         for group in &branch.splits {
+            if group.consumed {
+                continue;
+            }
             if out.len() >= room {
                 dropped += 1;
                 continue;
             }
             let parts: Vec<String> = group
+                .formulas
                 .iter()
                 .map(|g| g.display(&self.solver.bank))
                 .collect();
@@ -1056,6 +1304,99 @@ impl Search<'_> {
         out.extend(std::iter::repeat_with(String::new).take(dropped));
         clamp_context(&mut out, MAX_CONTEXT_LITERALS, MAX_CONTEXT_LITERAL_CHARS);
         out
+    }
+}
+
+/// A quantifier-instantiation binding. A plain vector, not a hash
+/// table: quantifier prefixes bind a handful of variables, and bindings
+/// are created (and discarded) once per matching candidate — linear
+/// scans win on both fronts.
+type Binding = Vec<(Sym, TermId)>;
+
+/// The term `v` is bound to, if any.
+fn bound(binding: &Binding, v: Sym) -> Option<TermId> {
+    binding.iter().find(|&&(s, _)| s == v).map(|&(_, t)| t)
+}
+
+/// For trigger-less single-variable quantifiers: every ground term
+/// relevant to the branch (capped), in mark order.
+fn enumerate_bindings(
+    bank: &TermBank,
+    relevant: &RelevantSet,
+    vars: &[Sym],
+) -> Vec<Binding> {
+    if vars.len() != 1 {
+        return Vec::new();
+    }
+    const ENUM_CAP: usize = 512;
+    let mut out = Vec::new();
+    for &(t, _) in relevant.order.iter().take(ENUM_CAP) {
+        if matches!(bank.data(t), TermData::Var(_)) || bank.has_var(t) {
+            continue;
+        }
+        out.push(vec![(vars[0], t)]);
+    }
+    out
+}
+
+/// Matches one trigger pattern against the branch's ground terms,
+/// appending complete bindings to `out`. An application trigger only
+/// consults the `by_top` bucket for its head symbol — the common case —
+/// instead of scanning every relevant term.
+fn match_trigger(
+    bank: &TermBank,
+    relevant: &RelevantSet,
+    trigger: TermId,
+    vars: &[Sym],
+    out: &mut Vec<Binding>,
+) {
+    let candidates: Box<dyn Iterator<Item = TermId> + '_> = match bank.data(trigger) {
+        TermData::App(f, _) => match relevant.by_top.get(f) {
+            Some(bucket) => Box::new(bucket.iter().copied()),
+            None => return,
+        },
+        // Rare non-application trigger: fall back to the full mark-order
+        // scan of ground terms.
+        _ => Box::new(
+            relevant
+                .order
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|&t| !bank.has_var(t)),
+        ),
+    };
+    for t in candidates {
+        let mut binding = Binding::new();
+        if match_pattern(bank, trigger, t, &mut binding)
+            && vars.iter().all(|v| bound(&binding, *v).is_some())
+        {
+            out.push(binding);
+        }
+    }
+}
+
+fn match_pattern(
+    bank: &TermBank,
+    pat: TermId,
+    t: TermId,
+    binding: &mut Binding,
+) -> bool {
+    match bank.data(pat) {
+        TermData::Var(v) => match bound(binding, *v) {
+            Some(prev) => prev == t,
+            None => {
+                binding.push((*v, t));
+                true
+            }
+        },
+        TermData::Int(n) => matches!(bank.data(t), TermData::Int(m) if m == n),
+        TermData::App(f, pargs) => match bank.data(t) {
+            TermData::App(g, targs) if g == f && targs.len() == pargs.len() => pargs
+                .iter()
+                .zip(targs.iter())
+                .all(|(&p, &a)| match_pattern(bank, p, a, binding)),
+            _ => false,
+        },
     }
 }
 
@@ -1623,6 +1964,124 @@ mod tests {
             vec![Formula::Holds(p).negate(), Formula::Holds(p)],
             Formula::False
         ));
+    }
+
+    #[test]
+    fn solver_is_reusable_across_prove_calls() {
+        // The cached congruence context must rewind completely between
+        // calls: a merge assumed in one proof must not leak into the
+        // next, and the next proof must still see the whole bank.
+        let mut s = Solver::new();
+        let f = s.bank.sym("f");
+        let (x, y, z) = (s.bank.app0("x"), s.bank.app0("y"), s.bank.app0("z"));
+        let fx = s.bank.app(f, vec![x]);
+        let fy = s.bank.app(f, vec![y]);
+        assert!(prove(&mut s, vec![Formula::Eq(x, y)], Formula::Eq(fx, fy)));
+        // x = y was only an assumption of the previous task.
+        let out = s.prove(&ProofTask {
+            hypotheses: vec![],
+            goal: Formula::Eq(x, y),
+        });
+        assert!(!out.is_proved());
+        // And a third call still proves with hypotheses spanning the
+        // whole (never-rolled-back) bank.
+        assert!(prove(
+            &mut s,
+            vec![Formula::Eq(x, z), Formula::Eq(z, y)],
+            Formula::Eq(fx, fy)
+        ));
+    }
+
+    #[test]
+    fn term_limit_counts_minted_terms_not_bank_size() {
+        // A big up-front vocabulary must not eat into the search's term
+        // budget: the cap bounds terms minted during prove.
+        let mut s = Solver::new();
+        for i in 0..100 {
+            s.bank.app0(&format!("pre{i}"));
+        }
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        s.set_limits(Limits {
+            max_terms: 1,
+            ..Limits::default()
+        });
+        assert!(prove(&mut s, vec![Formula::Eq(x, y)], Formula::Eq(y, x)));
+    }
+
+    #[test]
+    fn contradictory_hypotheses_close_without_search() {
+        let mut s = Solver::new();
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        let out = s.prove(&ProofTask {
+            hypotheses: vec![Formula::Eq(x, y), Formula::ne(x, y)],
+            goal: Formula::False,
+        });
+        match out {
+            Outcome::Proved { stats, .. } => {
+                assert_eq!(stats.branches, 1);
+                assert_eq!(stats.splits, 0);
+            }
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn false_hypothesis_proves_anything() {
+        let mut s = Solver::new();
+        let (x, y) = (s.bank.app0("x"), s.bank.app0("y"));
+        assert!(prove(&mut s, vec![Formula::False], Formula::Eq(x, y)));
+    }
+
+    #[test]
+    fn duplicate_hypotheses_are_deduplicated() {
+        let mut s = Solver::new();
+        let (a, b, c) = (s.bank.app0("a"), s.bank.app0("b"), s.bank.app0("c"));
+        let disj = Formula::or([Formula::Eq(a, c), Formula::Eq(b, c)]);
+        // Ten copies of the same disjunction must cost one split, not ten.
+        let hyps: Vec<Formula> = std::iter::repeat_with(|| disj.clone())
+            .take(10)
+            .chain([Formula::Eq(a, b)])
+            .collect();
+        let out = s.prove(&ProofTask {
+            hypotheses: hyps,
+            goal: Formula::Eq(b, c),
+        });
+        match out {
+            Outcome::Proved { stats, .. } => {
+                assert!(stats.splits <= 1, "splits: {}", stats.splits);
+            }
+            other => panic!("expected proof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlay_solver_proves_against_shared_base() {
+        // Batch mode: encode a vocabulary once, freeze it, and prove in
+        // an overlay. Skolems minted by the overlay stay private.
+        let mut base = TermBank::new();
+        let f = base.sym("f");
+        let a = base.app0("a");
+        let vsym = base.sym("V");
+        let v = base.var("V");
+        let fv = base.app(f, vec![v]);
+        let hyp = Formula::Forall {
+            vars: vec![vsym],
+            triggers: vec![fv],
+            body: Box::new(Formula::Eq(fv, a)),
+        };
+        let frozen = base.freeze();
+        let mut s1 = Solver::with_base_bank(frozen.clone());
+        let mut s2 = Solver::with_base_bank(frozen);
+        let fa1 = {
+            let aa = s1.bank.app0("a");
+            s1.bank.app(f, vec![aa])
+        };
+        assert!(prove(&mut s1, vec![hyp.clone()], Formula::Eq(fa1, a)));
+        let fa2 = {
+            let aa = s2.bank.app0("a");
+            s2.bank.app(f, vec![aa])
+        };
+        assert!(prove(&mut s2, vec![hyp], Formula::Eq(fa2, a)));
     }
 
     #[test]

@@ -6,13 +6,31 @@
 //! treats distinct constructors as disjoint and every constructor as
 //! injective (the free-datatype theory used to model IL statements,
 //! expressions, and values).
+//!
+//! # Layered banks
+//!
+//! A bank may sit on top of a frozen **base** ([`TermBank::freeze`] /
+//! [`TermBank::with_base`]): lookups fall through to the base, new
+//! interning lands in the overlay, and ids number continuously past the
+//! base. This is how a batch of proof obligations shares one interned
+//! vocabulary: the batch's encoding is frozen once, and each obligation
+//! gets a cheap private overlay for search-time terms (skolems,
+//! instantiation results), so parallel workers never contend on — or
+//! mutate — shared state.
 
-use std::collections::HashMap;
+use cobalt_support::{FastMap, FastSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// An interned function or variable symbol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Sym(u32);
+
+impl Sym {
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// An interned term; indexes into its [`TermBank`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -51,11 +69,21 @@ pub enum TermData {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TermBank {
+    /// Frozen lower layer, if this bank is an overlay. At most one
+    /// level deep: a base is never itself an overlay.
+    base: Option<Arc<TermBank>>,
     sym_names: Vec<String>,
-    sym_memo: HashMap<String, Sym>,
+    sym_memo: FastMap<String, Sym>,
     terms: Vec<TermData>,
-    term_memo: HashMap<TermData, TermId>,
+    term_memo: FastMap<TermData, TermId>,
     constructors: Vec<bool>,
+    /// `has_var`, precomputed at intern time (arguments are always
+    /// interned first, so one lookup per argument suffices).
+    var_flags: Vec<bool>,
+    /// Base symbols promoted to constructors by this overlay. Rare:
+    /// encoding interns constructor symbols up front, so overlays
+    /// normally only add fresh ones.
+    ctor_promotions: FastSet<Sym>,
 }
 
 impl TermBank {
@@ -64,16 +92,55 @@ impl TermBank {
         TermBank::default()
     }
 
+    /// Freezes this bank into a shareable base layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this bank is itself an overlay (bases are one level).
+    pub fn freeze(self) -> Arc<TermBank> {
+        assert!(self.base.is_none(), "cannot freeze an overlay bank");
+        Arc::new(self)
+    }
+
+    /// Creates an empty overlay on top of a frozen base: every base
+    /// symbol and term is visible, and new interning is private to the
+    /// overlay.
+    pub fn with_base(base: Arc<TermBank>) -> Self {
+        assert!(base.base.is_none(), "bank bases do not nest");
+        TermBank {
+            base: Some(base),
+            ..TermBank::default()
+        }
+    }
+
+    fn base_syms(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.sym_names.len())
+    }
+
+    fn base_terms(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.terms.len())
+    }
+
     /// Interns a symbol name.
     pub fn sym(&mut self, name: &str) -> Sym {
-        if let Some(&s) = self.sym_memo.get(name) {
+        if let Some(s) = self.find_sym(name) {
             return s;
         }
-        let s = Sym(self.sym_names.len() as u32);
+        let s = Sym((self.base_syms() + self.sym_names.len()) as u32);
         self.sym_names.push(name.to_string());
         self.sym_memo.insert(name.to_string(), s);
         self.constructors.push(false);
         s
+    }
+
+    /// Looks a symbol up by name without interning it.
+    pub fn find_sym(&self, name: &str) -> Option<Sym> {
+        if let Some(b) = &self.base {
+            if let Some(&s) = b.sym_memo.get(name) {
+                return Some(s);
+            }
+        }
+        self.sym_memo.get(name).copied()
     }
 
     /// Interns a symbol and marks it as a constructor: the solver treats
@@ -81,26 +148,55 @@ impl TermBank {
     /// constructor as injective.
     pub fn constructor(&mut self, name: &str) -> Sym {
         let s = self.sym(name);
-        self.constructors[s.0 as usize] = true;
+        let bs = self.base_syms();
+        if s.idx() < bs {
+            if !self.base.as_ref().expect("base symbol implies base").constructors[s.idx()] {
+                self.ctor_promotions.insert(s);
+            }
+        } else {
+            self.constructors[s.idx() - bs] = true;
+        }
         s
     }
 
     /// Whether `s` was declared a constructor.
     pub fn is_constructor(&self, s: Sym) -> bool {
-        self.constructors[s.0 as usize]
+        let bs = self.base_syms();
+        if s.idx() < bs {
+            self.base.as_ref().expect("base symbol implies base").constructors[s.idx()]
+                || (!self.ctor_promotions.is_empty() && self.ctor_promotions.contains(&s))
+        } else {
+            self.constructors[s.idx() - bs]
+        }
     }
 
     /// The name of a symbol.
     pub fn sym_name(&self, s: Sym) -> &str {
-        &self.sym_names[s.0 as usize]
+        let bs = self.base_syms();
+        if s.idx() < bs {
+            &self.base.as_ref().expect("base symbol implies base").sym_names[s.idx()]
+        } else {
+            &self.sym_names[s.idx() - bs]
+        }
     }
 
     fn intern(&mut self, data: TermData) -> TermId {
+        if let Some(b) = &self.base {
+            if let Some(&t) = b.term_memo.get(&data) {
+                return t;
+            }
+        }
         if let Some(&t) = self.term_memo.get(&data) {
             return t;
         }
-        let t = TermId(self.terms.len() as u32);
+        let hv = match &data {
+            TermData::Var(_) => true,
+            TermData::Int(_) => false,
+            TermData::App(_, args) => args.iter().any(|&a| self.has_var(a)),
+        };
+        let t = TermId((self.base_terms() + self.terms.len()) as u32);
         self.terms.push(data.clone());
+        self.var_flags.push(hv);
         self.term_memo.insert(data, t);
         t
     }
@@ -129,35 +225,45 @@ impl TermBank {
 
     /// The structure of a term.
     pub fn data(&self, t: TermId) -> &TermData {
-        &self.terms[t.idx()]
+        let bt = self.base_terms();
+        if t.idx() < bt {
+            &self.base.as_ref().expect("base term implies base").terms[t.idx()]
+        } else {
+            &self.terms[t.idx() - bt]
+        }
     }
 
-    /// Number of interned terms.
+    /// Number of interned terms (including any base layer's).
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.base_terms() + self.terms.len()
     }
 
     /// Whether the bank contains no terms.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.len() == 0
     }
 
-    /// Whether `t` contains any [`TermData::Var`] leaf.
+    /// Whether `t` contains any [`TermData::Var`] leaf. O(1): the flag
+    /// is computed once when the term is interned.
     pub fn has_var(&self, t: TermId) -> bool {
-        match self.data(t) {
-            TermData::Var(_) => true,
-            TermData::Int(_) => false,
-            TermData::App(_, args) => {
-                let args = args.clone();
-                args.iter().any(|&a| self.has_var(a))
-            }
+        let bt = self.base_terms();
+        if t.idx() < bt {
+            self.base.as_ref().expect("base term implies base").var_flags[t.idx()]
+        } else {
+            self.var_flags[t.idx() - bt]
         }
     }
 
     /// Capture-free substitution of variables by terms.
-    pub fn subst(&mut self, t: TermId, map: &HashMap<Sym, TermId>) -> TermId {
+    pub fn subst(&mut self, t: TermId, map: &[(Sym, TermId)]) -> TermId {
+        if !self.has_var(t) {
+            return t;
+        }
         match self.data(t).clone() {
-            TermData::Var(v) => map.get(&v).copied().unwrap_or(t),
+            TermData::Var(v) => map
+                .iter()
+                .find(|&&(s, _)| s == v)
+                .map_or(t, |&(_, r)| r),
             TermData::Int(_) => t,
             TermData::App(f, args) => {
                 let new_args: Vec<TermId> = args.iter().map(|&a| self.subst(a, map)).collect();
@@ -191,7 +297,7 @@ impl TermBank {
                     let _ = write!(out, "{}", self.sym_name(*f));
                 } else {
                     let _ = write!(out, "({}", self.sym_name(*f));
-                    for &a in args.clone().iter() {
+                    for &a in args {
                         out.push(' ');
                         self.write_term(a, out);
                     }
@@ -240,8 +346,7 @@ mod tests {
         let a = b.app0("a");
         let t = b.app(f, vec![v, a]);
         let vsym = b.sym("X");
-        let mut map = HashMap::new();
-        map.insert(vsym, a);
+        let map = vec![(vsym, a)];
         let t2 = b.subst(t, &map);
         assert_eq!(b.display(t2), "(f a a)");
         // Substituting a variable not in the map is the identity.
@@ -269,5 +374,56 @@ mod tests {
         let k = b.int(3);
         let t = b.app(sel, vec![m, k]);
         assert_eq!(b.display(t), "(select m 3)");
+    }
+
+    #[test]
+    fn overlay_sees_base_and_extends_it() {
+        let mut base = TermBank::new();
+        let f = base.sym("f");
+        let a = base.app0("a");
+        let fa = base.app(f, vec![a]);
+        let n_terms = base.len();
+        let frozen = base.freeze();
+
+        let mut o1 = TermBank::with_base(frozen.clone());
+        let mut o2 = TermBank::with_base(frozen);
+        // Base lookups return base ids, no new interning.
+        assert_eq!(o1.sym("f"), f);
+        assert_eq!(o1.app0("a"), a);
+        assert_eq!(o1.app(f, vec![a]), fa);
+        assert_eq!(o1.len(), n_terms);
+        // Fresh terms number past the base and stay private.
+        let b1 = o1.app0("fresh");
+        let b2 = o2.app0("other");
+        assert_eq!(b1.idx(), n_terms);
+        assert_eq!(b2.idx(), n_terms);
+        assert_eq!(o1.display(b1), "fresh");
+        assert_eq!(o2.display(b2), "other");
+        // Structural operations cross the layer boundary.
+        let fb = o1.app(f, vec![b1]);
+        assert_eq!(o1.display(fb), "(f fresh)");
+        assert!(!o1.has_var(fb));
+        let v = o1.var("X");
+        let fv = o1.app(f, vec![v]);
+        assert!(o1.has_var(fv));
+    }
+
+    #[test]
+    fn overlay_constructor_promotion() {
+        let mut base = TermBank::new();
+        let c = base.constructor("ctor");
+        let plain = base.sym("plain");
+        let frozen = base.freeze();
+        let mut o = TermBank::with_base(frozen);
+        assert!(o.is_constructor(c));
+        assert!(!o.is_constructor(plain));
+        // Promoting a base symbol in the overlay is overlay-local.
+        assert_eq!(o.constructor("plain"), plain);
+        assert!(o.is_constructor(plain));
+        // Fresh overlay constructors work as usual.
+        let fresh = o.constructor("fresh_ctor");
+        assert!(o.is_constructor(fresh));
+        let fresh_plain = o.sym("fresh_plain");
+        assert!(!o.is_constructor(fresh_plain));
     }
 }

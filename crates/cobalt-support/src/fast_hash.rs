@@ -1,0 +1,150 @@
+//! A fast, deterministic hasher for interior hash tables.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed and
+//! DoS-resistant, which the prover's interior tables — term interning,
+//! congruence-closure signatures, relevant-set membership — do not
+//! need: keys are small machine words or short id vectors produced by
+//! the prover itself, never attacker-controlled input. Those tables
+//! sit on the hottest paths of proof search, where SipHash's per-write
+//! rounds dominate the actual probe cost.
+//!
+//! [`FastHasher`] is a word-at-a-time multiplicative hasher (the
+//! rotate-xor-multiply shape used by rustc's interner tables) with a
+//! strong final mix. It is:
+//!
+//! * **fast** — one rotate, one xor, one multiply per word;
+//! * **deterministic** — no per-process random state, so hash tables
+//!   iterate identically across runs and processes (proof search never
+//!   iterates these tables in result-affecting ways, but determinism
+//!   keeps any accidental dependence reproducible rather than flaky);
+//! * **not** collision-resistant against adversaries — do not use it
+//!   for anything fed by untrusted input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Odd multiplier; the low-bias constant from the splitmix64 family.
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Word-at-a-time multiplicative [`Hasher`]. See the module docs.
+#[derive(Default, Clone)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(26) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer: the multiply chain alone mixes high
+        // bits poorly into the low bits HashMap uses for bucketing.
+        let mut h = self.hash;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" ≠ "ab\0".
+            self.add(u64::from_le_bytes(tail) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64);
+    }
+}
+
+/// Deterministic builder for [`FastHasher`].
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using [`FastHasher`]. Construct with `FastMap::default()`.
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using [`FastHasher`]. Construct with `FastSet::default()`.
+pub type FastSet<K> = HashSet<K, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FastBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        assert_eq!(
+            hash_of(&vec![1u32, 2, 3]),
+            hash_of(&vec![1u32, 2, 3])
+        );
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Smoke test, not a statistical claim: word-sized keys that
+        // the prover actually uses should not collide trivially.
+        let hashes: FastSet<u64> = (0u32..10_000).map(|i| hash_of(&i)).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_strings_with_shared_prefixes_differ() {
+        assert_ne!(hash_of(&"ab"), hash_of(&"ab\0"));
+        assert_ne!(hash_of(&[1u8, 2, 3].as_slice()), hash_of(&[1u8, 2, 3, 0].as_slice()));
+    }
+
+    #[test]
+    fn usable_as_map() {
+        let mut m: FastMap<(u32, Vec<u32>), u32> = FastMap::default();
+        m.insert((7, vec![1, 2]), 9);
+        assert_eq!(m.get(&(7, vec![1, 2])), Some(&9));
+        assert_eq!(m.get(&(7, vec![2, 1])), None);
+    }
+}

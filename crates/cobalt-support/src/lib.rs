@@ -33,10 +33,12 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod fast_hash;
 pub mod fault;
 pub mod journal;
 pub mod pool;
 pub mod prop;
 pub mod rng;
 
+pub use fast_hash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use rng::{Rng, SplitMix64};

@@ -12,7 +12,9 @@
 
 use crate::enc::SemanticMeanings;
 use crate::error::VerifyError;
-use crate::oblig::{obligations_for_analysis, obligations_for_optimization, Prepared};
+use crate::oblig::{
+    obligations_for_analysis_with, obligations_for_optimization_with, BankMode, Prepared,
+};
 use cobalt_dsl::{LabelEnv, Optimization, PureAnalysis};
 use cobalt_logic::{clamp_context, Limits, Outcome};
 use cobalt_support::fault;
@@ -232,6 +234,7 @@ pub struct Verifier {
     pub(crate) meanings: SemanticMeanings,
     pub(crate) policy: RetryPolicy,
     pub(crate) jobs: usize,
+    pub(crate) bank_mode: BankMode,
 }
 
 impl Verifier {
@@ -244,6 +247,7 @@ impl Verifier {
             meanings,
             policy: RetryPolicy::default(),
             jobs: 1,
+            bank_mode: BankMode::default(),
         }
     }
 
@@ -275,6 +279,22 @@ impl Verifier {
         self.jobs
     }
 
+    /// Overrides how obligation batches own their term banks. The
+    /// default [`BankMode::BatchShared`] interns each rule's
+    /// vocabulary once; [`BankMode::PerObligation`] is the original
+    /// fresh-bank-per-obligation behavior, kept as a differential
+    /// oracle. Both produce identical reports, summaries, and journal
+    /// fingerprints.
+    pub fn with_bank_mode(mut self, mode: BankMode) -> Self {
+        self.bank_mode = mode;
+        self
+    }
+
+    /// The configured [`BankMode`].
+    pub fn bank_mode(&self) -> BankMode {
+        self.bank_mode
+    }
+
     /// Attempts to prove an optimization sound.
     ///
     /// # Errors
@@ -285,7 +305,8 @@ impl Verifier {
         self.lint_gate(&opt.name, |ctx, opts| {
             cobalt_lint::lint_optimization(opt, ctx, opts)
         })?;
-        let prepared = obligations_for_optimization(opt, &self.env, &self.meanings)?;
+        let prepared =
+            obligations_for_optimization_with(opt, &self.env, &self.meanings, self.bank_mode)?;
         Ok(self.discharge_all(opt.name.clone(), prepared))
     }
 
@@ -333,7 +354,8 @@ impl Verifier {
         self.lint_gate(&analysis.name, |ctx, opts| {
             cobalt_lint::lint_analysis(analysis, ctx, opts)
         })?;
-        let prepared = obligations_for_analysis(analysis, &self.env, &self.meanings)?;
+        let prepared =
+            obligations_for_analysis_with(analysis, &self.env, &self.meanings, self.bank_mode)?;
         Ok(self.discharge_all(analysis.name.clone(), prepared))
     }
 

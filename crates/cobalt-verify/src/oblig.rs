@@ -15,6 +15,22 @@
 //! guard; the builders realize this as one obligation per statement
 //! shape (see [`crate::enc`]), skipping shapes whose guard is statically
 //! false.
+//!
+//! # Bank ownership ([`BankMode`])
+//!
+//! Obligation construction is a two-step affair: rule parts are first
+//! turned into *specs* — an identifier plus an encoding closure — and
+//! then every spec of a batch is *prepared* into a [`Prepared`] under
+//! a [`BankMode`]. Under [`BankMode::BatchShared`] (the default) the
+//! whole batch encodes into one solver whose bank is then frozen as a
+//! shared immutable base; each obligation's solver holds only a cheap
+//! private overlay for search-time terms. Under
+//! [`BankMode::PerObligation`] every obligation interns its own bank
+//! from scratch (the original behavior, kept as a differential-testing
+//! oracle). The two modes produce identical rendered formulas, reports,
+//! and session fingerprints by construction — the encoder's fresh-name
+//! counter restarts per spec and nothing user-visible prints raw term
+//! ids, so the bank layout underneath an obligation is unobservable.
 
 use crate::enc::{Bind, Enc, RhsShape, SemanticMeanings, Shape, TaintMode};
 use crate::error::VerifyError;
@@ -25,7 +41,23 @@ use cobalt_dsl::{
     PureAnalysis, RegionGuard, VarPat, Witness,
 };
 use cobalt_logic::TermId;
-use cobalt_logic::{Formula, ProofTask, Solver};
+use cobalt_logic::{Formula, ProofTask, Solver, TermBank};
+use std::sync::Arc;
+
+/// How the obligations of one batch own their term banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BankMode {
+    /// Every obligation interns its own bank from scratch — the
+    /// original behavior. Kept as the oracle the shared mode is
+    /// differentially tested against.
+    PerObligation,
+    /// The batch's vocabulary is interned once into a shared immutable
+    /// base bank; each obligation's solver gets a private overlay for
+    /// its search-time terms (skolems, instances). Output-identical to
+    /// [`BankMode::PerObligation`]; only the allocation work differs.
+    #[default]
+    BatchShared,
+}
 
 /// A fully prepared obligation: its own solver (holding the term bank
 /// the task refers to) plus the task.
@@ -44,34 +76,97 @@ impl std::fmt::Debug for Prepared {
     }
 }
 
-type BuildFn<'x> =
-    dyn FnOnce(&mut Enc<'_>, &Bind) -> Result<Option<(Vec<Formula>, Formula)>, VerifyError> + 'x;
+type BuildFn =
+    dyn Fn(&mut Enc<'_>, &Bind) -> Result<Option<(Vec<Formula>, Formula)>, VerifyError>;
 
-fn build(
+/// One obligation recipe. The closure is `Fn`, not `FnOnce`: under
+/// [`BankMode::BatchShared`] it runs twice — once into the shared
+/// vocabulary solver, once into the obligation's own overlay solver.
+struct Spec {
     id: String,
+    taint: TaintMode,
+    build: Box<BuildFn>,
+}
+
+/// Runs one spec's encoding pipeline into `solver`: encode, then append
+/// the environment-injectivity instances and the encoder's accumulated
+/// background hypotheses. `None` means the spec's guard is statically
+/// false and the obligation is skipped.
+fn encode_into(
+    solver: &mut Solver,
+    spec: &Spec,
     defs: &LabelEnv,
     meanings: &SemanticMeanings,
-    mode: TaintMode,
     kinds: &Kinds,
-    f: Box<BuildFn<'_>>,
-) -> Result<Option<Prepared>, VerifyError> {
-    let mut solver = Solver::new();
-    let out = {
-        let (mut enc, bind) = Enc::new(&mut solver, defs, meanings, mode, kinds);
-        match f(&mut enc, &bind)? {
-            None => None,
-            Some((mut hyps, goal)) => {
-                enc.emit_env_injectivity_all();
-                hyps.append(&mut enc.extra);
-                Some((hyps, goal))
+) -> Result<Option<ProofTask>, VerifyError> {
+    let (mut enc, bind) = Enc::new(solver, defs, meanings, spec.taint, kinds);
+    match (spec.build)(&mut enc, &bind)? {
+        None => Ok(None),
+        Some((mut hyps, goal)) => {
+            enc.emit_env_injectivity_all();
+            hyps.append(&mut enc.extra);
+            Ok(Some(ProofTask {
+                hypotheses: hyps,
+                goal,
+            }))
+        }
+    }
+}
+
+/// Prepares a batch of specs under the given [`BankMode`].
+///
+/// Shared mode encodes every spec — once each, in batch order — into a
+/// single solver, so later obligations resolve the batch's common
+/// vocabulary against the memo instead of re-interning it. The bank is
+/// then frozen and each obligation gets its own overlay solver: the
+/// task's term ids stay valid (the frozen base contains them), search
+/// mints skolems and instances privately per obligation, and parallel
+/// workers share the base read-only. Each obligation's rendered
+/// formulas — and therefore its session fingerprint — are identical to
+/// fresh mode's, because the encoder restarts fresh-name generation
+/// per spec and nothing user-visible ever prints a raw term id; the
+/// prover likewise only ever walks the obligation's own relevant set,
+/// so sibling terms in the base are invisible to the search.
+fn prepare(
+    specs: Vec<Spec>,
+    defs: &LabelEnv,
+    meanings: &SemanticMeanings,
+    kinds: &Kinds,
+    mode: BankMode,
+) -> Result<Vec<Prepared>, VerifyError> {
+    let mut out = Vec::new();
+    match mode {
+        BankMode::PerObligation => {
+            for spec in specs {
+                let mut solver = Solver::new();
+                if let Some(task) = encode_into(&mut solver, &spec, defs, meanings, kinds)? {
+                    out.push(Prepared {
+                        id: spec.id,
+                        solver,
+                        task,
+                    });
+                }
             }
         }
-    };
-    Ok(out.map(|(hypotheses, goal)| Prepared {
-        id,
-        solver,
-        task: ProofTask { hypotheses, goal },
-    }))
+        BankMode::BatchShared => {
+            let mut shared = Solver::new();
+            let mut built: Vec<(String, ProofTask)> = Vec::new();
+            for spec in &specs {
+                if let Some(task) = encode_into(&mut shared, spec, defs, meanings, kinds)? {
+                    built.push((spec.id.clone(), task));
+                }
+            }
+            let frozen: Arc<TermBank> = std::mem::take(&mut shared.bank).freeze();
+            for (id, task) in built {
+                out.push(Prepared {
+                    id,
+                    solver: Solver::with_base_bank(Arc::clone(&frozen)),
+                    task,
+                });
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn is_statically_false(f: &Formula) -> bool {
@@ -112,7 +207,8 @@ fn check_template_safe(shape: &Shape) -> Result<(), VerifyError> {
     }
 }
 
-/// Builds the obligations of an optimization.
+/// Builds the obligations of an optimization under the default
+/// [`BankMode`].
 ///
 /// # Errors
 ///
@@ -123,12 +219,27 @@ pub fn obligations_for_optimization(
     defs: &LabelEnv,
     meanings: &SemanticMeanings,
 ) -> Result<Vec<Prepared>, VerifyError> {
+    obligations_for_optimization_with(opt, defs, meanings, BankMode::default())
+}
+
+/// Builds the obligations of an optimization under an explicit
+/// [`BankMode`].
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] if the optimization cannot be encoded.
+pub fn obligations_for_optimization_with(
+    opt: &Optimization,
+    defs: &LabelEnv,
+    meanings: &SemanticMeanings,
+    mode: BankMode,
+) -> Result<Vec<Prepared>, VerifyError> {
     let kinds = vocab::of_optimization(opt)?;
     let pat = &opt.pattern;
-    let mut out = Vec::new();
+    let mut specs = Vec::new();
     match (&pat.guard, pat.direction) {
         (GuardSpec::Local, _) => {
-            out.extend(f3_obligation(opt, defs, meanings, &kinds)?);
+            specs.push(f3_spec(opt)?);
         }
         (GuardSpec::Region(rg), Direction::Forward) => {
             let Witness::Forward(w) = &pat.witness else {
@@ -136,19 +247,9 @@ pub fn obligations_for_optimization(
                     "forward pattern requires a forward witness".into(),
                 ));
             };
-            out.extend(region_f1_f2(
-                "F1", &rg.psi1, None, w, defs, meanings, &kinds,
-            )?);
-            out.extend(region_f1_f2(
-                "F2",
-                &rg.psi2,
-                Some(w),
-                w,
-                defs,
-                meanings,
-                &kinds,
-            )?);
-            out.extend(f3_obligation(opt, defs, meanings, &kinds)?);
+            specs.extend(region_f1_f2("F1", &rg.psi1, None, w));
+            specs.extend(region_f1_f2("F2", &rg.psi2, Some(w), w));
+            specs.push(f3_spec(opt)?);
         }
         (GuardSpec::Region(rg), Direction::Backward) => {
             let Witness::Backward(w) = &pat.witness else {
@@ -161,13 +262,10 @@ pub fn obligations_for_optimization(
             let from = pat.from.clone();
             let to = pat.to.clone();
             let where_clause = pat.where_clause.clone();
-            if let Some(p) = build(
-                "B1".into(),
-                defs,
-                meanings,
-                TaintMode::AbsentFalse,
-                &kinds,
-                Box::new(move |enc, bind| {
+            specs.push(Spec {
+                id: "B1".into(),
+                taint: TaintMode::AbsentFalse,
+                build: Box::new(move |enc, bind| {
                     let st0 = enc.init_state("0");
                     let from_shape = enc.shape_of_pattern(&from, bind)?;
                     let to_shape = enc.shape_of_pattern(&to, bind)?;
@@ -186,18 +284,16 @@ pub fn obligations_for_optimization(
                     let goal = enc.bwd_witness(&w1, &st_old, &st_new, bind)?;
                     Ok(Some((vec![wc], goal)))
                 }),
-            )? {
-                out.push(p);
-            }
+            });
             // B2 and B3, per shape.
-            out.extend(backward_shapes("B2", &rg.psi2, w, false, defs, meanings, &kinds)?);
-            out.extend(backward_shapes("B3", &rg.psi1, w, true, defs, meanings, &kinds)?);
+            specs.extend(backward_shapes("B2", &rg.psi2, w, false));
+            specs.extend(backward_shapes("B3", &rg.psi1, w, true));
         }
     }
-    Ok(out)
+    prepare(specs, defs, meanings, &kinds, mode)
 }
 
-/// Builds A1/A2 for a pure analysis.
+/// Builds A1/A2 for a pure analysis under the default [`BankMode`].
 ///
 /// # Errors
 ///
@@ -207,39 +303,47 @@ pub fn obligations_for_analysis(
     defs: &LabelEnv,
     meanings: &SemanticMeanings,
 ) -> Result<Vec<Prepared>, VerifyError> {
+    obligations_for_analysis_with(analysis, defs, meanings, BankMode::default())
+}
+
+/// Builds A1/A2 for a pure analysis under an explicit [`BankMode`].
+///
+/// # Errors
+///
+/// Returns [`VerifyError`] if the analysis cannot be encoded.
+pub fn obligations_for_analysis_with(
+    analysis: &PureAnalysis,
+    defs: &LabelEnv,
+    meanings: &SemanticMeanings,
+    mode: BankMode,
+) -> Result<Vec<Prepared>, VerifyError> {
     let kinds = vocab::of_analysis(analysis)?;
     let RegionGuard { psi1, psi2 } = &analysis.guard;
     let w = &analysis.witness;
-    let mut out = Vec::new();
-    out.extend(region_f1_f2("A1", psi1, None, w, defs, meanings, &kinds)?);
-    out.extend(region_f1_f2("A2", psi2, Some(w), w, defs, meanings, &kinds)?);
-    Ok(out)
+    let mut specs = Vec::new();
+    specs.extend(region_f1_f2("A1", psi1, None, w));
+    specs.extend(region_f1_f2("A2", psi2, Some(w), w));
+    prepare(specs, defs, meanings, &kinds, mode)
 }
 
-/// Shared builder for F1/F2/A1/A2: per shape, guard hypotheses (+ the
-/// witness at the pre-state when `pre_witness` is set) entail the
-/// witness at the post-state.
+/// Shared spec builder for F1/F2/A1/A2: per shape, guard hypotheses
+/// (+ the witness at the pre-state when `pre_witness` is set) entail
+/// the witness at the post-state.
 fn region_f1_f2(
     tag_prefix: &str,
     psi: &Guard,
     pre_witness: Option<&cobalt_dsl::ForwardWitness>,
     post_witness: &cobalt_dsl::ForwardWitness,
-    defs: &LabelEnv,
-    meanings: &SemanticMeanings,
-    kinds: &Kinds,
-) -> Result<Vec<Prepared>, VerifyError> {
+) -> Vec<Spec> {
     let mut out = Vec::new();
     for tag in Enc::shape_tags(false) {
         let psi = psi.clone();
         let pre_w = pre_witness.cloned();
         let post_w = post_witness.clone();
-        let prepared = build(
-            format!("{tag}/{name}", tag = tag, name = ""),
-            defs,
-            meanings,
-            TaintMode::Semantic,
-            kinds,
-            Box::new(move |enc, bind| {
+        out.push(Spec {
+            id: format!("{tag_prefix}/{tag}"),
+            taint: TaintMode::Semantic,
+            build: Box::new(move |enc, bind| {
                 let shape = enc.shape_by_tag(tag);
                 let st0 = enc.init_state("0");
                 let mut taints = enc.definite_taints(&psi, &shape, bind)?;
@@ -264,31 +368,19 @@ fn region_f1_f2(
                 let goal = enc.fwd_witness(&post_w, &st1, bind)?;
                 Ok(Some((hyps, goal)))
             }),
-        )?;
-        if let Some(mut p) = prepared {
-            p.id = format!("{tag_prefix}/{tag}", tag_prefix = tag_prefix);
-            out.push(p);
-        }
+        });
     }
-    Ok(out)
+    out
 }
 
 /// F3: under the witness (for region patterns) and the `where` clause,
 /// `θ(s)` and `θ(s')` step the state identically.
-fn f3_obligation(
-    opt: &Optimization,
-    defs: &LabelEnv,
-    meanings: &SemanticMeanings,
-    kinds: &Kinds,
-) -> Result<Vec<Prepared>, VerifyError> {
+fn f3_spec(opt: &Optimization) -> Result<Spec, VerifyError> {
     let pat = opt.pattern.clone();
-    let prepared = build(
-        "F3".into(),
-        defs,
-        meanings,
-        TaintMode::Semantic,
-        kinds,
-        Box::new(move |enc, bind| {
+    Ok(Spec {
+        id: "F3".into(),
+        taint: TaintMode::Semantic,
+        build: Box::new(move |enc, bind| {
             let st0 = enc.init_state("0");
             let from_shape = enc.shape_of_pattern(&pat.from, bind)?;
             let to_shape = enc.shape_of_pattern(&pat.to, bind)?;
@@ -314,32 +406,25 @@ fn f3_obligation(
             let goal = enc.states_equal(&st1, &st2);
             Ok(Some((hyps, goal)))
         }),
-    )?;
-    Ok(prepared.into_iter().collect())
+    })
 }
 
-/// B2/B3: per shape, lockstep execution of the same statement from
-/// witness-related states.
+/// B2/B3 specs: per shape, lockstep execution of the same statement
+/// from witness-related states.
 fn backward_shapes(
     tag: &str,
     psi: &Guard,
     witness: &cobalt_dsl::BackwardWitness,
     enabling: bool,
-    defs: &LabelEnv,
-    meanings: &SemanticMeanings,
-    kinds: &Kinds,
-) -> Result<Vec<Prepared>, VerifyError> {
+) -> Vec<Spec> {
     let mut out = Vec::new();
     for name in Enc::shape_tags(enabling) {
         let psi = psi.clone();
         let w = witness.clone();
-        let prepared = build(
-            format!("{tag}/{name}"),
-            defs,
-            meanings,
-            TaintMode::AbsentFalse,
-            kinds,
-            Box::new(move |enc, bind| {
+        out.push(Spec {
+            id: format!("{tag}/{name}"),
+            taint: TaintMode::AbsentFalse,
+            build: Box::new(move |enc, bind| {
                 let shape = enc.shape_by_tag(name);
                 let st_old = enc.init_state("old");
                 let st_new = enc.init_state("new");
@@ -361,7 +446,7 @@ fn backward_shapes(
                     let vn = enc.val(&st_new, u);
                     return Ok(Some((vec![pre_witness, g], Formula::Eq(vo, vn))));
                 }
-                if let (Shape::Decl(w), BackwardWitness::AgreeExcept(VarPat::Pat(p))) =
+                if let (Shape::Decl(dw), BackwardWitness::AgreeExcept(VarPat::Pat(p))) =
                     (&shape, &w)
                 {
                     // The witnessing region lies between the transformed
@@ -370,7 +455,7 @@ fn backward_shapes(
                     // fault the original execution, so the obligation
                     // holds vacuously outside `w ≠ X` (see DESIGN.md).
                     if let Some(&x) = bind.get(p) {
-                        enc.extra.push(Formula::ne(*w, x));
+                        enc.extra.push(Formula::ne(*dw, x));
                     }
                 }
                 let st1_old = enc.step(&shape, &st_old, &[], true)?;
@@ -391,8 +476,7 @@ fn backward_shapes(
                 };
                 Ok(Some((vec![pre_witness, g], goal)))
             }),
-        )?;
-        out.extend(prepared);
+        });
     }
-    Ok(out)
+    out
 }

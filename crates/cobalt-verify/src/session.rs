@@ -29,7 +29,7 @@
 
 use crate::checker::{ObligationOutcome, Report, Verifier};
 use crate::error::VerifyError;
-use crate::oblig::{obligations_for_analysis, obligations_for_optimization, Prepared};
+use crate::oblig::{obligations_for_analysis_with, obligations_for_optimization_with, Prepared};
 use cobalt_dsl::{Optimization, PureAnalysis};
 use cobalt_logic::Limits;
 use cobalt_support::journal::{Fnv64, Journal, LoadReport, LockOutcome};
@@ -356,8 +356,12 @@ impl Session {
         self.verifier.lint_gate(&opt.name, |ctx, opts| {
             cobalt_lint::lint_optimization(opt, ctx, opts)
         })?;
-        let prepared =
-            obligations_for_optimization(opt, &self.verifier.env, &self.verifier.meanings)?;
+        let prepared = obligations_for_optimization_with(
+            opt,
+            &self.verifier.env,
+            &self.verifier.meanings,
+            self.verifier.bank_mode,
+        )?;
         let rule_src = format!("{opt:?}");
         Ok(self.run(opt.name.clone(), &rule_src, prepared))
     }
@@ -372,8 +376,12 @@ impl Session {
         self.verifier.lint_gate(&analysis.name, |ctx, opts| {
             cobalt_lint::lint_analysis(analysis, ctx, opts)
         })?;
-        let prepared =
-            obligations_for_analysis(analysis, &self.verifier.env, &self.verifier.meanings)?;
+        let prepared = obligations_for_analysis_with(
+            analysis,
+            &self.verifier.env,
+            &self.verifier.meanings,
+            self.verifier.bank_mode,
+        )?;
         let rule_src = format!("{analysis:?}");
         Ok(self.run(analysis.name.clone(), &rule_src, prepared))
     }
@@ -572,7 +580,7 @@ mod tests {
         use cobalt_dsl::LabelEnv;
         use crate::enc::SemanticMeanings;
         let opt = cobalt_opts_fixture();
-        let prepared = obligations_for_optimization(
+        let prepared = crate::oblig::obligations_for_optimization(
             &opt,
             &LabelEnv::standard(),
             &SemanticMeanings::standard(),
@@ -592,7 +600,7 @@ mod tests {
             fingerprint_obligation("rule-src", p, &tiers[..1]),
             "limit tiers are fingerprint inputs"
         );
-        let mut renamed = obligations_for_optimization(
+        let mut renamed = crate::oblig::obligations_for_optimization(
             &opt,
             &LabelEnv::standard(),
             &SemanticMeanings::standard(),

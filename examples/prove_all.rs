@@ -20,9 +20,14 @@
 //! supervised workers (DESIGN.md §11). A `BENCH_JSON` line records the
 //! whole-registry wall clock and obligations/sec, so before/after
 //! comparisons of the parallel speedup are one grep away.
+//!
+//! Set `COBALT_BANK_MODE=fresh` to fall back to the
+//! fresh-bank-per-obligation oracle (`shared`, the default, interns
+//! each rule's vocabulary once; see DESIGN.md §12) — useful for
+//! measuring what the batch-shared bank buys.
 
 use cobalt::dsl::LabelEnv;
-use cobalt::verify::{Report, ResumeMode, SemanticMeanings, Session, Verifier};
+use cobalt::verify::{BankMode, Report, ResumeMode, SemanticMeanings, Session, Verifier};
 use cobalt_support::bench::{Stats, Throughput};
 use std::error::Error;
 use std::time::Instant;
@@ -35,8 +40,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         .map_err(|e| format!("COBALT_JOBS: {e}"))?
         .unwrap_or(1)
         .max(1);
+    let bank_mode = match std::env::var("COBALT_BANK_MODE").as_deref() {
+        Ok("fresh") => BankMode::PerObligation,
+        Ok("shared") | Err(_) => BankMode::BatchShared,
+        Ok(other) => return Err(format!("COBALT_BANK_MODE: unknown mode `{other}`").into()),
+    };
     let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
-        .with_jobs(jobs);
+        .with_jobs(jobs)
+        .with_bank_mode(bank_mode);
     let mut session = match std::env::var("COBALT_JOURNAL") {
         Ok(path) => {
             println!("journaling to {path} (cached outcomes replay on rerun)");

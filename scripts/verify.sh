@@ -226,8 +226,31 @@ if ! grep -q "journaling disabled" <<<"$out"; then
     echo "parallel: lock-fault verify did not report degradation:"; echo "$out"; exit 1
 fi
 
+echo "== perf stage (prover_speed trajectory)"
+
+# The raw-speed trajectory datapoint (ISSUE 6, BENCH_*.json): run the
+# prover_speed bench at one worker in fast mode and check it emits a
+# well-formed BENCH_JSON record. No threshold gating — the stage fails
+# only if the bench harness itself errors; the numbers are for the
+# committed per-PR trajectory, not for pass/fail.
+bench_json=$(mktemp -u /tmp/cobalt_bench_json_XXXXXX)
+set +e
+COBALT_BENCH_FAST=1 COBALT_BENCH_JSON="$bench_json" \
+    cargo bench --offline -p cobalt-bench --bench prover_speed >/dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 0 ]]; then
+    echo "perf: prover_speed bench harness exited $code"; rm -f "$bench_json"; exit 1
+fi
+if ! grep -q '"name":"prover_speed/registry_shared/jobs=1"' "$bench_json"; then
+    echo "perf: prover_speed emitted no registry_shared datapoint:"
+    cat "$bench_json" 2>/dev/null; rm -f "$bench_json"; exit 1
+fi
+grep 'registry_' "$bench_json" | sed 's/^/  /'
+rm -f "$bench_json"
+
 if [[ "${1:-}" == "--benches" ]]; then
-    for bench in proof_times engine_scaling tv_vs_proof prover_ablation; do
+    for bench in proof_times engine_scaling tv_vs_proof prover_ablation prover_speed; do
         echo "== cargo bench --bench ${bench} (fast mode)"
         COBALT_BENCH_FAST=1 cargo bench --offline -p cobalt-bench --bench "${bench}"
     done
