@@ -11,14 +11,46 @@
 //! originates from some `ψ1` solution at some node, so the analysis
 //! starts from that universe as ⊤ and iterates downward to the greatest
 //! fixpoint.
+//!
+//! # Determinism
+//!
+//! Fact sets are [`FastSet`]s (the deterministic word-at-a-time hasher,
+//! not SipHash's per-process random keys), and every place iteration
+//! order can reach an observable result — the `ψ1` solution universe,
+//! the label-insertion order of a pure analysis, the site order of
+//! `Δ` — iterates in *canonical* order (substitutions sorted by key).
+//! This is what makes `cobalt optimize --jobs N` byte-identical at any
+//! worker count: per-procedure fixpoints are pure functions of the
+//! procedure and the rules, with no iteration-order residue.
+//!
+//! # Governance
+//!
+//! Both fixpoints are metered: the `*_metered` variants spend one
+//! [`Meter`](crate::Meter) step per node visit and return
+//! [`EngineError::ResourceLimited`] when the engine's
+//! [`Budget`](crate::Budget) is exhausted. The unmetered names keep the
+//! pre-budget signatures (an unlimited meter). The `engine.fixpoint`
+//! fault point fires at fixpoint entry and `engine.merge` at each
+//! merge-point intersection, so degradation paths are testable
+//! deterministically (`COBALT_FAULTS` grammar, DESIGN.md §8).
 
 use crate::analyzed::AnalyzedProc;
+use crate::budget::{Budget, Meter};
 use crate::error::EngineError;
-use cobalt_dsl::{LabelEnv, RegionGuard, Subst};
-use std::collections::HashSet;
+use cobalt_dsl::{GuardError, LabelEnv, RegionGuard, Subst};
+use cobalt_support::fast_hash::FastSet;
+use cobalt_support::fault;
 
-/// A dataflow fact: a set of substitutions.
-pub type FactSet = HashSet<Subst>;
+/// A dataflow fact: a set of substitutions. Deterministic hashing; all
+/// result-affecting iteration is additionally sorted (see the module
+/// docs).
+pub type FactSet = FastSet<Subst>;
+
+/// An injected engine fault, shaped as an engine error so it flows
+/// through the same degradation paths as a real failure.
+fn fault_point(site: &str) -> Result<(), EngineError> {
+    fault::point_err(site).map_err(|e| EngineError::Guard(GuardError::new(e.to_string())))
+}
 
 /// Computes, for each node `ι`, the *incoming* fact of a forward region
 /// guard: the set of `θ` such that on every CFG path from the entry to
@@ -33,20 +65,40 @@ pub fn forward_in_facts(
     env: &LabelEnv,
     guard: &RegionGuard,
 ) -> Result<Vec<FactSet>, EngineError> {
+    forward_in_facts_metered(ap, env, guard, &mut Budget::unlimited().meter())
+}
+
+/// [`forward_in_facts`] under a budget: spends one meter step per node
+/// visit.
+///
+/// # Errors
+///
+/// Propagates guard-evaluation errors;
+/// [`EngineError::ResourceLimited`] on budget exhaustion.
+pub fn forward_in_facts_metered(
+    ap: &AnalyzedProc,
+    env: &LabelEnv,
+    guard: &RegionGuard,
+    meter: &mut Meter,
+) -> Result<Vec<FactSet>, EngineError> {
+    fault_point("engine.fixpoint")?;
+    meter.check()?;
     let n = ap.proc.len();
     let (sols, survivors) = node_locals(ap, env, guard)?;
     let universe: FactSet = sols.iter().flatten().cloned().collect();
 
     // out[ι] starts at ⊤ (the universe); entry's in-fact is ∅.
     let mut outs: Vec<FactSet> = vec![universe; n];
-    let mut ins: Vec<FactSet> = vec![FactSet::new(); n];
+    let mut ins: Vec<FactSet> = vec![FactSet::default(); n];
     let mut changed = true;
     while changed {
         changed = false;
         for i in 0..n {
+            meter.tick()?;
             let in_fact = if i == ap.cfg.entry() {
-                FactSet::new()
+                FactSet::default()
             } else {
+                fault_point("engine.merge")?;
                 intersect_over(ap.cfg.predecessors(i).iter().map(|&p| &outs[p]))
             };
             let mut out_fact: FactSet = in_fact
@@ -82,6 +134,24 @@ pub fn backward_cont_facts(
     env: &LabelEnv,
     guard: &RegionGuard,
 ) -> Result<Vec<FactSet>, EngineError> {
+    backward_cont_facts_metered(ap, env, guard, &mut Budget::unlimited().meter())
+}
+
+/// [`backward_cont_facts`] under a budget: spends one meter step per
+/// node visit.
+///
+/// # Errors
+///
+/// Propagates guard-evaluation errors;
+/// [`EngineError::ResourceLimited`] on budget exhaustion.
+pub fn backward_cont_facts_metered(
+    ap: &AnalyzedProc,
+    env: &LabelEnv,
+    guard: &RegionGuard,
+    meter: &mut Meter,
+) -> Result<Vec<FactSet>, EngineError> {
+    fault_point("engine.fixpoint")?;
+    meter.check()?;
     let n = ap.proc.len();
     let (sols, survivors) = node_locals(ap, env, guard)?;
     let universe: FactSet = sols.iter().flatten().cloned().collect();
@@ -91,10 +161,12 @@ pub fn backward_cont_facts(
     while changed {
         changed = false;
         for i in (0..n).rev() {
+            meter.tick()?;
             let succs = ap.cfg.successors(i);
             let from_succs = if succs.is_empty() {
-                FactSet::new()
+                FactSet::default()
             } else {
+                fault_point("engine.merge")?;
                 intersect_over(succs.iter().map(|&s| &facts[s]))
             };
             let mut fact: FactSet = from_succs
@@ -120,7 +192,7 @@ pub fn backward_site_facts(ap: &AnalyzedProc, cont: &[FactSet]) -> Vec<FactSet> 
         .map(|i| {
             let succs = ap.cfg.successors(i);
             if succs.is_empty() {
-                FactSet::new()
+                FactSet::default()
             } else {
                 intersect_over(succs.iter().map(|&s| &cont[s]))
             }
@@ -142,13 +214,18 @@ fn node_locals(
         sols.push(guard.psi1.solve(&ctx, &Subst::new())?);
     }
     let universe: Vec<Subst> = {
-        let mut set: FactSet = sols.iter().flatten().cloned().collect();
-        set.drain().collect()
+        let set: FactSet = sols.iter().flatten().cloned().collect();
+        // Canonical order: ψ2 evaluation below is observable through
+        // guard errors and fault counters, so it must not depend on
+        // hash-iteration order.
+        let mut v: Vec<Subst> = set.into_iter().collect();
+        v.sort();
+        v
     };
     let mut survivors = Vec::with_capacity(n);
     for i in 0..n {
         let ctx = ap.node_ctx(env, i);
-        let mut keep = FactSet::new();
+        let mut keep = FactSet::default();
         for theta in &universe {
             if guard.psi2.eval(&ctx, theta)? {
                 keep.insert(theta.clone());
@@ -162,7 +239,7 @@ fn node_locals(
 fn intersect_over<'a>(mut sets: impl Iterator<Item = &'a FactSet>) -> FactSet {
     let first = match sets.next() {
         Some(s) => s.clone(),
-        None => return FactSet::new(),
+        None => return FactSet::default(),
     };
     sets.fold(first, |acc, s| acc.intersection(s).cloned().collect())
 }

@@ -7,7 +7,10 @@
 //! profitability heuristic, and applies the rewrites.
 
 use crate::analyzed::AnalyzedProc;
-use crate::dataflow::{backward_cont_facts, backward_site_facts, forward_in_facts, FactSet};
+use crate::budget::Budget;
+use crate::dataflow::{
+    backward_cont_facts_metered, backward_site_facts, forward_in_facts_metered, FactSet,
+};
 use crate::error::EngineError;
 use cobalt_dsl::{
     Direction, GuardSpec, LabelEnv, LabelInst, MatchSite, Optimization, PureAnalysis, Subst,
@@ -34,15 +37,33 @@ use cobalt_il::{Proc, Program};
 pub struct Engine {
     env: LabelEnv,
     lint_prepass: bool,
+    budget: Budget,
 }
 
 impl Engine {
-    /// Creates an engine with the given label environment.
+    /// Creates an engine with the given label environment and an
+    /// unlimited [`Budget`].
     pub fn new(env: LabelEnv) -> Self {
         Engine {
             env,
             lint_prepass: false,
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// Bounds every fixpoint this engine runs by `budget`. Drivers that
+    /// process several procedures [fork](Budget::fork) the budget per
+    /// procedure so the step cap is per-procedure and therefore
+    /// deterministic at any `--jobs` count.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The budget bounding this engine's fixpoints.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Enables the opt-in lint pre-pass in the resilient drivers: rules
@@ -80,6 +101,7 @@ impl Engine {
         opt: &Optimization,
     ) -> Result<Vec<MatchSite>, EngineError> {
         let pat = &opt.pattern;
+        let mut meter = self.budget.meter();
         let site_facts: Vec<FactSet> = match (&pat.guard, pat.direction) {
             (GuardSpec::Local, _) => {
                 // Node-local rewrite: every node is a candidate with the
@@ -89,14 +111,14 @@ impl Engine {
                     .collect()
             }
             (GuardSpec::Region(guard), Direction::Forward) => {
-                forward_in_facts(ap, &self.env, guard)?
+                forward_in_facts_metered(ap, &self.env, guard, &mut meter)?
             }
             (GuardSpec::Region(guard), Direction::Backward) => {
                 // Paper §4.1: a forward pure analysis may not feed a
                 // backward transformation (interference). Backward
                 // guards therefore see no semantic labels.
                 let masked = ap.without_labels();
-                let cont = backward_cont_facts(&masked, &self.env, guard)?;
+                let cont = backward_cont_facts_metered(&masked, &self.env, guard, &mut meter)?;
                 backward_site_facts(&masked, &cont)
             }
         };
@@ -177,11 +199,14 @@ impl Engine {
         ap: &mut AnalyzedProc,
         analysis: &PureAnalysis,
     ) -> Result<usize, EngineError> {
-        let ins = forward_in_facts(ap, &self.env, &analysis.guard)?;
+        let ins = forward_in_facts_metered(ap, &self.env, &analysis.guard, &mut self.budget.meter())?;
         let (name, args) = &analysis.defines;
         let mut added = 0;
         for (i, fact) in ins.iter().enumerate() {
-            for theta in fact {
+            // Canonical label-insertion order (fact sets hash-iterate).
+            let mut thetas: Vec<&Subst> = fact.iter().collect();
+            thetas.sort();
+            for theta in thetas {
                 let concrete = args
                     .iter()
                     .map(|a| a.instantiate(theta))
@@ -250,7 +275,10 @@ impl Engine {
         let mut out = program.clone();
         let mut total = 0;
         for proc in &program.procs {
-            let (optimized, n) = self.optimize_proc(proc, analyses, opts, max_rounds)?;
+            // Fresh step counter per procedure: the cap bounds each
+            // procedure's pipeline, not their interleaved sum.
+            let worker = self.clone().with_budget(self.budget.fork());
+            let (optimized, n) = worker.optimize_proc(proc, analyses, opts, max_rounds)?;
             out = out.with_proc_replaced(optimized);
             total += n;
         }

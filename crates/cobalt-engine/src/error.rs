@@ -16,6 +16,11 @@ pub enum EngineError {
     /// (sites whose templates fail to instantiate are normally dropped
     /// from Δ; this arises only if a `choose` function invents one).
     Template(InstError),
+    /// The analysis exhausted its [`Budget`](crate::Budget) — deadline,
+    /// step cap, or cooperative cancellation. Says nothing about the
+    /// program or the rule, only that the budget ran out; the resilient
+    /// drivers quarantine the pass (sound — it is merely skipped).
+    ResourceLimited(String),
 }
 
 impl fmt::Display for EngineError {
@@ -24,6 +29,9 @@ impl fmt::Display for EngineError {
             EngineError::IllFormed(e) => write!(f, "engine: {e}"),
             EngineError::Guard(e) => write!(f, "engine: {e}"),
             EngineError::Template(e) => write!(f, "engine: {e}"),
+            EngineError::ResourceLimited(reason) => {
+                write!(f, "engine: resource limited: {reason}")
+            }
         }
     }
 }
@@ -34,6 +42,7 @@ impl Error for EngineError {
             EngineError::IllFormed(e) => Some(e),
             EngineError::Guard(e) => Some(e),
             EngineError::Template(e) => Some(e),
+            EngineError::ResourceLimited(_) => None,
         }
     }
 }

@@ -67,15 +67,22 @@
 #![warn(missing_docs)]
 
 pub mod analyzed;
+pub mod budget;
 pub mod dataflow;
 pub mod engine;
 pub mod error;
 pub mod recursive;
 pub mod resilient;
+pub mod session;
 
 pub use analyzed::AnalyzedProc;
-pub use dataflow::{backward_cont_facts, backward_site_facts, forward_in_facts, FactSet};
+pub use budget::{Budget, Meter, METER_CHECK_INTERVAL};
+pub use dataflow::{
+    backward_cont_facts, backward_cont_facts_metered, backward_site_facts, forward_in_facts,
+    forward_in_facts_metered, FactSet,
+};
 pub use engine::Engine;
 pub use recursive::apply_recursive;
 pub use error::EngineError;
-pub use resilient::{PassFailure, PipelineReport};
+pub use resilient::{FailureKind, PassFailure, PipelineReport};
+pub use session::OptimizeSession;

@@ -83,9 +83,11 @@ pub fn apply_recursive(
         _ => return apply_plain_fixpoint(engine, proc, opt),
     };
     let ap0 = AnalyzedProc::new(proc.clone())?;
+    let mut meter = engine.budget().meter();
     let mut assumed = candidates.clone();
     let mut seen: Vec<Vec<usize>> = Vec::new();
     for _ in 0..64 {
+        meter.tick()?;
         let key: Vec<usize> = assumed.iter().map(|s| s.index).collect();
         if seen.contains(&key) {
             return apply_plain_fixpoint(engine, proc, opt);
@@ -95,11 +97,15 @@ pub fn apply_recursive(
         let probe = AnalyzedProc::new(context)?.without_labels();
         let site_facts = match opt.pattern.direction {
             cobalt_dsl::Direction::Forward => {
-                crate::dataflow::forward_in_facts(&probe, engine.env(), &region)?
+                crate::dataflow::forward_in_facts_metered(&probe, engine.env(), &region, &mut meter)?
             }
             cobalt_dsl::Direction::Backward => {
-                let cont =
-                    crate::dataflow::backward_cont_facts(&probe, engine.env(), &region)?;
+                let cont = crate::dataflow::backward_cont_facts_metered(
+                    &probe,
+                    engine.env(),
+                    &region,
+                    &mut meter,
+                )?;
                 crate::dataflow::backward_site_facts(&probe, &cont)
             }
         };
@@ -130,7 +136,9 @@ fn apply_plain_fixpoint(
 ) -> Result<(Proc, Vec<MatchSite>), EngineError> {
     let mut current = proc.clone();
     let mut all: Vec<MatchSite> = Vec::new();
+    let mut meter = engine.budget().meter();
     loop {
+        meter.tick()?;
         let ap = AnalyzedProc::new(current.clone())?;
         let (next, applied) = engine.apply(&ap, opt)?;
         if applied.is_empty() {

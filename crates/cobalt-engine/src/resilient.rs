@@ -27,9 +27,54 @@ use std::collections::HashSet;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+/// How a quarantined pass failed — the typed dimension of a
+/// [`PassFailure`], so callers (and the `--json` report) can
+/// distinguish "ran out of budget" from "the pass is broken".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The pass exhausted the engine [`Budget`](crate::Budget)
+    /// (deadline, step cap, or cancellation). Drives the exit-3 path.
+    ResourceLimited,
+    /// The pass returned an engine error (bad guard, lint rejection,
+    /// injected fault, …).
+    Error,
+    /// The pass panicked and was caught.
+    Panic,
+}
+
+impl FailureKind {
+    /// The stable machine-readable name used in JSON reports and
+    /// journal records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureKind::ResourceLimited => "resource-limited",
+            FailureKind::Error => "error",
+            FailureKind::Panic => "panic",
+        }
+    }
+
+    /// Parses [`as_str`](Self::as_str) output (journal decode).
+    pub fn parse(s: &str) -> Option<FailureKind> {
+        match s {
+            "resource-limited" => Some(FailureKind::ResourceLimited),
+            "error" => Some(FailureKind::Error),
+            "panic" => Some(FailureKind::Panic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One isolated pass (or analysis) failure inside a resilient pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PassFailure {
+    /// What kind of failure this was.
+    pub kind: FailureKind,
     /// The procedure being optimized when the failure occurred.
     pub proc: String,
     /// The failing pass or pure analysis, e.g. `"dae"` or
@@ -59,6 +104,9 @@ pub struct PipelineReport {
     pub applied: usize,
     /// Rounds completed (the maximum over procedures).
     pub rounds: usize,
+    /// Procedures replayed from a fixpoint journal instead of being
+    /// re-optimized (warm restart).
+    pub cached: usize,
     /// Every isolated failure, in the order encountered. A pass is
     /// quarantined after its first failure, so each (proc, pass) pair
     /// appears at most once.
@@ -69,6 +117,14 @@ impl PipelineReport {
     /// Whether any pass had to be skipped.
     pub fn degraded(&self) -> bool {
         !self.failures.is_empty()
+    }
+
+    /// Whether any failure was budget exhaustion — the condition that
+    /// maps the run onto the resource-limited (exit 3) path.
+    pub fn resource_limited(&self) -> bool {
+        self.failures
+            .iter()
+            .any(|f| f.kind == FailureKind::ResourceLimited)
     }
 
     /// The distinct names of passes/analyses that were skipped, in
@@ -85,32 +141,76 @@ impl PipelineReport {
     /// A one-line summary, e.g.
     /// `4 rewrites in 2 rounds (degraded: skipped dae)`.
     pub fn summary(&self) -> String {
-        if self.failures.is_empty() {
-            format!("{} rewrites in {} rounds", self.applied, self.rounds)
-        } else {
-            format!(
-                "{} rewrites in {} rounds (degraded: skipped {})",
-                self.applied,
-                self.rounds,
-                self.skipped_passes().join(", ")
-            )
+        let mut out = format!("{} rewrites in {} rounds", self.applied, self.rounds);
+        if self.cached > 0 {
+            out.push_str(&format!(", {} procs cached", self.cached));
         }
+        if !self.failures.is_empty() {
+            out.push_str(&format!(
+                " (degraded: skipped {})",
+                self.skipped_passes().join(", ")
+            ));
+        }
+        out
     }
 
-    fn absorb(&mut self, other: PipelineReport) {
+    /// A stable machine-readable rendering: one JSON object per line, a
+    /// `summary` record first, then one `failure` record per isolated
+    /// failure in order. Escaping follows the cobalt-lint rules
+    /// ([`cobalt_lint::json_escape`]), so CI can assert on degradation
+    /// behavior without parsing the free-form summary. Byte-identical
+    /// at any `--jobs` count (nothing run-relative is included).
+    pub fn json_lines(&self) -> String {
+        let mut out = format!(
+            "{{\"type\":\"summary\",\"applied\":{},\"rounds\":{},\"cached\":{},\
+             \"degraded\":{},\"resource_limited\":{},\"skipped\":[{}]}}",
+            self.applied,
+            self.rounds,
+            self.cached,
+            self.degraded(),
+            self.resource_limited(),
+            self.skipped_passes()
+                .iter()
+                .map(|p| format!("\"{}\"", cobalt_lint::json_escape(p)))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for f in &self.failures {
+            out.push('\n');
+            out.push_str(&format!(
+                "{{\"type\":\"failure\",\"kind\":\"{}\",\"proc\":\"{}\",\"pass\":\"{}\",\
+                 \"round\":{},\"reason\":\"{}\"}}",
+                f.kind,
+                cobalt_lint::json_escape(&f.proc),
+                cobalt_lint::json_escape(&f.pass),
+                f.round,
+                cobalt_lint::json_escape(&f.reason)
+            ));
+        }
+        out
+    }
+
+    pub(crate) fn absorb(&mut self, other: PipelineReport) {
         self.applied += other.applied;
         self.rounds = self.rounds.max(other.rounds);
+        self.cached += other.cached;
         self.failures.extend(other.failures);
     }
 }
 
 /// Runs `f` with panic isolation, flattening panics and engine errors
-/// into a failure reason.
-fn isolate<T>(f: impl FnOnce() -> Result<T, EngineError>) -> Result<T, String> {
+/// into a typed failure kind plus reason.
+fn isolate<T>(f: impl FnOnce() -> Result<T, EngineError>) -> Result<T, (FailureKind, String)> {
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(Ok(v)) => Ok(v),
-        Ok(Err(e)) => Err(e.to_string()),
-        Err(payload) => Err(format!("panicked: {}", panic_payload_message(payload.as_ref()))),
+        Ok(Err(e @ EngineError::ResourceLimited(_))) => {
+            Err((FailureKind::ResourceLimited, e.to_string()))
+        }
+        Ok(Err(e)) => Err((FailureKind::Error, e.to_string())),
+        Err(payload) => Err((
+            FailureKind::Panic,
+            format!("panicked: {}", panic_payload_message(payload.as_ref())),
+        )),
     }
 }
 
@@ -158,9 +258,10 @@ impl Engine {
                         dead: &mut HashSet<String>,
                         pass: String,
                         round: usize,
-                        reason: String| {
+                        (kind, reason): (FailureKind, String)| {
             dead.insert(pass.clone());
             report.failures.push(PassFailure {
+                kind,
                 proc: proc.name.to_string(),
                 pass,
                 round,
@@ -180,7 +281,13 @@ impl Engine {
                 let key = format!("analysis:{}", analysis.name);
                 match isolate(|| Ok(cobalt_lint::lint_analysis(analysis, &ctx, &lint_opts))) {
                     Ok(diags) if diags.has_errors() => {
-                        fail(&mut report, &mut dead, key, 0, lint_reason(&diags));
+                        fail(
+                            &mut report,
+                            &mut dead,
+                            key,
+                            0,
+                            (FailureKind::Error, lint_reason(&diags)),
+                        );
                     }
                     Ok(_) => {}
                     Err(reason) => fail(&mut report, &mut dead, key, 0, reason),
@@ -194,7 +301,7 @@ impl Engine {
                             &mut dead,
                             opt.name.to_string(),
                             0,
-                            lint_reason(&diags),
+                            (FailureKind::Error, lint_reason(&diags)),
                         );
                     }
                     Ok(_) => {}
@@ -287,8 +394,10 @@ impl Engine {
         let mut out = program.clone();
         let mut report = PipelineReport::default();
         for proc in &program.procs {
+            // Per-procedure step accounting (see `Budget::fork`).
+            let worker = self.clone().with_budget(self.budget().fork());
             let (optimized, proc_report) =
-                self.optimize_proc_resilient(proc, analyses, opts, max_rounds);
+                worker.optimize_proc_resilient(proc, analyses, opts, max_rounds);
             report.absorb(proc_report);
             out = out.with_proc_replaced(optimized);
         }

@@ -1,0 +1,534 @@
+//! Crash-safe, parallel optimization sessions: an [`OptimizeSession`]
+//! wraps an [`Engine`] and an optional persistent fixpoint journal so
+//! that a killed `cobalt optimize --journal` run resumes *warm* —
+//! procedures whose pipeline already completed cleanly are replayed
+//! from the journal as cached instead of being re-optimized — and runs
+//! per-procedure pipelines on the shared worker pool
+//! (`cobalt optimize --jobs N`). See `DESIGN.md` §13.
+//!
+//! # Fingerprints
+//!
+//! A journaled procedure result is only reused when its **content
+//! fingerprint** matches: an FNV-64 hash over the input procedure's
+//! pretty-printed body, every pure analysis and optimization of the
+//! pipeline (their full `Debug` AST renderings, in order), the round
+//! cap, the lint-prepass switch, and the budget's step cap. Any
+//! semantic change to what the pipeline would compute invalidates the
+//! entry. The wall-clock deadline is deliberately *not* an input: it
+//! bounds a run, not a result — a procedure optimized under one
+//! deadline is byte-identical under another (a procedure whose run was
+//! *degraded* by any budget is never journaled at all).
+//!
+//! # Determinism
+//!
+//! Results are delivered by `pool::run_ordered` in procedure order, so
+//! optimized-program bytes, pipeline reports, and journal bytes are
+//! byte-identical at any `--jobs` count. Journal records contain
+//! nothing run-relative (no timestamps, no worker ids).
+//!
+//! # Degradation
+//!
+//! Journal trouble — open failure, lock contention, a write error, an
+//! injected `engine.journal` fault — switches the session to
+//! unjournaled optimization: output, reports, and exit codes are
+//! unchanged, only warmth is lost, and [`OptimizeSession::degraded`]
+//! says why.
+
+use crate::engine::Engine;
+use crate::resilient::{FailureKind, PassFailure, PipelineReport};
+use cobalt_dsl::{Optimization, PureAnalysis};
+use cobalt_il::{parse_program, pretty_proc, Proc, Program};
+use cobalt_support::fault;
+use cobalt_support::journal::{
+    escape_field, unescape_field, Fnv64, Journal, LoadReport, LockOutcome, ResumeMode,
+};
+use cobalt_support::pool::{self, Cancel, TaskResult};
+use std::collections::HashMap;
+use std::path::Path;
+use std::time::Duration;
+
+/// How long [`OptimizeSession::with_journal`] waits for the journal's
+/// advisory lock before degrading to unjournaled optimization.
+pub const DEFAULT_LOCK_WAIT: Duration = Duration::from_secs(5);
+
+/// Version tag mixed into every fingerprint; bump on any change to the
+/// fingerprint inputs or the record format so stale journals invalidate
+/// wholesale instead of aliasing.
+const FINGERPRINT_VERSION: &str = "cobalt-engine-fp-v1";
+
+/// Record format version written as each record's first field.
+const RECORD_VERSION: &str = "v1";
+
+/// Stable content fingerprint of one procedure's optimization pipeline.
+///
+/// Inputs: the fingerprint version, the pretty-printed input procedure,
+/// the `Debug` rendering of every pure analysis and optimization (in
+/// pipeline order), `max_rounds`, the lint-prepass switch, and the
+/// budget step cap. Nothing run-relative (deadline, jobs, paths).
+pub fn fingerprint_proc(
+    proc: &Proc,
+    analyses: &[PureAnalysis],
+    opts: &[Optimization],
+    max_rounds: usize,
+    lint_prepass: bool,
+    max_steps: Option<u64>,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(FINGERPRINT_VERSION.as_bytes()).write(b"\0");
+    h.write(pretty_proc(proc).as_bytes()).write(b"\0");
+    for a in analyses {
+        h.write(format!("{a:?}").as_bytes()).write(b"\0");
+    }
+    h.write(b"|\0");
+    for o in opts {
+        h.write(format!("{o:?}").as_bytes()).write(b"\0");
+    }
+    h.write(format!("rounds={max_rounds};lint={lint_prepass};steps={max_steps:?}").as_bytes());
+    h.finish()
+}
+
+/// One journaled procedure outcome, as parsed back from a record. Only
+/// *clean* pipelines (no quarantined passes) are journaled, so a cached
+/// replay never hides a degradation note.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct JournalEntry {
+    pub fingerprint: u64,
+    pub proc: String,
+    pub applied: usize,
+    pub rounds: usize,
+    /// The optimized procedure, pretty-printed (re-parseable — the
+    /// round trip is pinned by the IL tests).
+    pub body: String,
+}
+
+impl JournalEntry {
+    /// Encodes the entry as a journal payload: tab-separated
+    /// `key=value` fields behind a version tag, values escaped.
+    pub fn encode(&self) -> Vec<u8> {
+        format!(
+            "{RECORD_VERSION}\tfp={:016x}\tproc={}\tapplied={}\trounds={}\tbody={}",
+            self.fingerprint,
+            escape_field(&self.proc),
+            self.applied,
+            self.rounds,
+            escape_field(&self.body),
+        )
+        .into_bytes()
+    }
+
+    /// Decodes a journal payload. `None` for records of an unknown
+    /// version or shape — such records are *skipped* (treated as not
+    /// cached), never trusted and never fatal.
+    pub fn decode(payload: &[u8]) -> Option<JournalEntry> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let mut fields = text.split('\t');
+        if fields.next()? != RECORD_VERSION {
+            return None;
+        }
+        let mut entry = JournalEntry {
+            fingerprint: 0,
+            proc: String::new(),
+            applied: 0,
+            rounds: 0,
+            body: String::new(),
+        };
+        let mut seen = 0u32;
+        for field in fields {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "fp" => entry.fingerprint = u64::from_str_radix(value, 16).ok()?,
+                "proc" => entry.proc = unescape_field(value)?,
+                "applied" => entry.applied = value.parse().ok()?,
+                "rounds" => entry.rounds = value.parse().ok()?,
+                "body" => entry.body = unescape_field(value)?,
+                _ => continue, // forward-compatible: unknown keys ignored
+            }
+            seen += 1;
+        }
+        if seen < 5 {
+            return None;
+        }
+        Some(entry)
+    }
+}
+
+/// A cached record plus its exact on-disk payload (kept so unchanged
+/// outcomes are carried into the compacted journal byte-for-byte).
+#[derive(Debug, Clone)]
+struct Cached {
+    entry: JournalEntry,
+    raw: Vec<u8>,
+}
+
+/// A resumable, parallel optimization session. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct OptimizeSession {
+    engine: Engine,
+    jobs: usize,
+    journal: Option<Journal>,
+    cache: HashMap<u64, Cached>,
+    /// Payloads belonging to this session's outcomes (reused raw
+    /// records and fresh appends, in procedure order); what
+    /// [`finish`](Self::finish) compacts the journal down to.
+    session_payloads: Vec<Vec<u8>>,
+    loaded: LoadReport,
+    degraded: Option<String>,
+}
+
+impl OptimizeSession {
+    /// A session without a journal, running procedures sequentially:
+    /// optimization behaves exactly like
+    /// [`Engine::optimize_program_resilient`].
+    pub fn new(engine: Engine) -> OptimizeSession {
+        OptimizeSession {
+            engine,
+            jobs: 1,
+            journal: None,
+            cache: HashMap::new(),
+            session_payloads: Vec::new(),
+            loaded: LoadReport::default(),
+            degraded: None,
+        }
+    }
+
+    /// Runs per-procedure pipelines on up to `jobs` pool workers.
+    /// Output bytes are identical at any jobs count; only wall-clock
+    /// changes.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> OptimizeSession {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Attaches (creating if absent) the fixpoint journal at `path`
+    /// under its advisory exclusive lock and builds the resume cache
+    /// from its intact records.
+    ///
+    /// **Never fails**: any trouble — unopenable path, lock contention,
+    /// an injected `engine.journal` fault — degrades the session to
+    /// unjournaled optimization with output and exit codes unchanged
+    /// ([`degraded`](Self::degraded) says why). This is deliberately
+    /// laxer than the verification session's typed open error: a
+    /// missing optimization cache must never block compilation.
+    #[must_use]
+    pub fn with_journal(self, path: impl AsRef<Path>, mode: ResumeMode) -> OptimizeSession {
+        self.with_journal_wait(path, mode, DEFAULT_LOCK_WAIT)
+    }
+
+    /// [`with_journal`](Self::with_journal) with an explicit lock-wait
+    /// budget (tests and impatient callers).
+    #[must_use]
+    pub fn with_journal_wait(
+        mut self,
+        path: impl AsRef<Path>,
+        mode: ResumeMode,
+        lock_wait: Duration,
+    ) -> OptimizeSession {
+        if let Err(e) = fault::point_err("engine.journal") {
+            self.degraded = Some(format!("journal unavailable ({e})"));
+            return self;
+        }
+        let mut opened = match Journal::open_locked(path, lock_wait) {
+            Ok(LockOutcome::Acquired(opened)) => opened,
+            Ok(LockOutcome::Contended { reason }) => {
+                self.degraded = Some(format!("journal lock unavailable ({reason})"));
+                return self;
+            }
+            Err(e) => {
+                self.degraded = Some(format!("journal unavailable ({e})"));
+                return self;
+            }
+        };
+        match mode {
+            ResumeMode::Fresh => {
+                if let Err(e) = opened.journal.compact(&[] as &[&[u8]]) {
+                    self.degraded = Some(format!("journal reset failed ({e})"));
+                    return self;
+                }
+                opened.report = LoadReport::default();
+            }
+            ResumeMode::Resume => {
+                for raw in &opened.records {
+                    // Later records win: a record appended after an
+                    // older result for the same pipeline supersedes it.
+                    if let Some(entry) = JournalEntry::decode(raw) {
+                        self.cache.insert(
+                            entry.fingerprint,
+                            Cached {
+                                entry,
+                                raw: raw.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.loaded = opened.report;
+        self.journal = Some(opened.journal);
+        self
+    }
+
+    /// Why the session is running unjournaled, if it is.
+    pub fn degraded(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// What the journal loader found on disk (corruption statistics).
+    pub fn load_report(&self) -> &LoadReport {
+        &self.loaded
+    }
+
+    /// Whether a journal is attached and healthy.
+    pub fn is_journaled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Optimizes every procedure of `program` with per-pass fault
+    /// isolation, replaying journaled procedures as cached and running
+    /// the rest on the worker pool. The merged [`PipelineReport`]
+    /// counts replayed procedures in
+    /// [`cached`](PipelineReport::cached).
+    ///
+    /// Never fails: budget exhaustion, pass errors, panics, and journal
+    /// trouble all degrade (the report says how).
+    pub fn optimize_program(
+        &mut self,
+        program: &Program,
+        analyses: &[PureAnalysis],
+        opts: &[Optimization],
+        max_rounds: usize,
+    ) -> (Program, PipelineReport) {
+        let n = program.procs.len();
+        let mut out = program.clone();
+        let mut report = PipelineReport::default();
+        // One compacted payload slot per procedure, filled by cached
+        // replays now and clean fresh results in the delivery sink —
+        // procedure order regardless of jobs, so compaction bytes are
+        // deterministic.
+        let mut payload_slots: Vec<Option<Vec<u8>>> = vec![None; n];
+
+        let max_steps = self.engine.budget().max_steps();
+        let lint = self.engine.lint_prepass_enabled();
+        let mut tasks: Vec<(usize, u64, Proc)> = Vec::new();
+        for (i, proc) in program.procs.iter().enumerate() {
+            let fp = fingerprint_proc(proc, analyses, opts, max_rounds, lint, max_steps);
+            if let Some(replayed) = self.cache.get(&fp).and_then(|c| replay(proc, c)) {
+                out = out.with_proc_replaced(replayed.0);
+                report.absorb(replayed.1);
+                payload_slots[i] = Some(self.cache[&fp].raw.clone());
+                continue;
+            }
+            tasks.push((i, fp, proc.clone()));
+        }
+
+        if !tasks.is_empty() {
+            // Cooperative cancellation shares the budget's flag (if
+            // any), so a CLI-level cancel and a pool-level cancel are
+            // one signal every meter observes.
+            let cancel = match self.engine.budget().cancel_flag() {
+                Some(flag) => Cancel::from_flag(flag),
+                None => Cancel::new(),
+            };
+            let meta: Vec<(usize, u64, String)> = tasks
+                .iter()
+                .map(|(i, fp, p)| (*i, *fp, p.name.to_string()))
+                .collect();
+            let engine = self.engine.clone();
+            let analyses_ref = analyses;
+            let opts_ref = opts;
+            pool::run_ordered(
+                self.jobs,
+                tasks,
+                &cancel,
+                |_idx, (_, _, proc), cancel| {
+                    let budget = engine.budget().fork().with_cancel(cancel.flag());
+                    let worker = engine.clone().with_budget(budget);
+                    let (optimized, rep) =
+                        worker.optimize_proc_resilient(proc, analyses_ref, opts_ref, max_rounds);
+                    // A blown wall-clock deadline is fatal to the whole
+                    // run (the deadline is absolute and shared): cancel
+                    // the fleet instead of letting every remaining
+                    // procedure rediscover it the slow way.
+                    if rep.failures.iter().any(|f| {
+                        f.kind == FailureKind::ResourceLimited && f.reason.contains("deadline")
+                    }) {
+                        cancel.trip();
+                    }
+                    (optimized, rep)
+                },
+                |idx, result| {
+                    let (i, fp, name) = &meta[idx];
+                    match result {
+                        TaskResult::Done((optimized, rep)) => {
+                            if rep.failures.is_empty() {
+                                let entry = JournalEntry {
+                                    fingerprint: *fp,
+                                    proc: name.clone(),
+                                    applied: rep.applied,
+                                    rounds: rep.rounds,
+                                    body: pretty_proc(&optimized),
+                                };
+                                let payload = entry.encode();
+                                self.append(&payload);
+                                payload_slots[*i] = Some(payload);
+                            }
+                            out = out.with_proc_replaced(optimized);
+                            report.absorb(rep);
+                        }
+                        TaskResult::Panicked(msg) => {
+                            // The supervised retry already happened; a
+                            // procedure that dies twice is quarantined
+                            // whole (its input text stays in `out`).
+                            report.absorb(PipelineReport {
+                                failures: vec![PassFailure {
+                                    kind: FailureKind::Panic,
+                                    proc: name.clone(),
+                                    pass: "pipeline".into(),
+                                    round: 0,
+                                    reason: format!("panicked: {msg}"),
+                                }],
+                                ..PipelineReport::default()
+                            });
+                        }
+                    }
+                },
+            );
+        }
+
+        self.session_payloads
+            .extend(payload_slots.into_iter().flatten());
+        (out, report)
+    }
+
+    /// Appends one record (with fsync), degrading to unjournaled on any
+    /// trouble — a sick disk must not change what the optimizer emits.
+    fn append(&mut self, payload: &[u8]) {
+        let Some(journal) = self.journal.as_mut() else {
+            return;
+        };
+        let wrote = fault::point_err("engine.journal")
+            .map_err(std::io::Error::other)
+            .and_then(|()| journal.append(payload))
+            .and_then(|()| journal.sync());
+        if let Err(e) = wrote {
+            self.degraded = Some(format!("journal write failed ({e}); continuing unjournaled"));
+            self.journal = None;
+        }
+    }
+
+    /// Compacts the journal down to this session's outcomes and
+    /// releases it. Compaction failure degrades (the appended records
+    /// are still on disk and loadable); it never affects results.
+    pub fn finish(&mut self) {
+        if let Some(mut journal) = self.journal.take() {
+            if let Err(e) = journal.compact(&self.session_payloads) {
+                self.degraded = Some(format!("journal compaction failed ({e})"));
+            }
+        }
+    }
+}
+
+/// Replays a cached entry for `proc`: parses the stored optimized body
+/// and synthesizes the clean report. `None` (fall through to a fresh
+/// run) if the record does not actually describe this procedure or its
+/// body no longer parses.
+fn replay(proc: &Proc, cached: &Cached) -> Option<(Proc, PipelineReport)> {
+    if cached.entry.proc != proc.name.to_string() {
+        return None;
+    }
+    let parsed = parse_program(&cached.entry.body).ok()?;
+    let replayed = parsed.procs.into_iter().next()?;
+    if replayed.name != proc.name {
+        return None;
+    }
+    let report = PipelineReport {
+        applied: cached.entry.applied,
+        rounds: cached.entry.rounds,
+        cached: 1,
+        failures: Vec::new(),
+    };
+    Some((replayed, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobalt_dsl::LabelEnv;
+
+    fn proc_of(src: &str) -> Proc {
+        parse_program(src).unwrap().procs.remove(0)
+    }
+
+    #[test]
+    fn record_codec_round_trips() {
+        let entry = JournalEntry {
+            fingerprint: 0xDEAD_BEEF_0BA1_7000,
+            proc: "weird\tname\nwith\\escapes".into(),
+            applied: 7,
+            rounds: 3,
+            body: "proc main(x) {\n    /* 0 */ return x;\n}\n".into(),
+        };
+        let decoded = JournalEntry::decode(&entry.encode()).unwrap();
+        assert_eq!(decoded, entry);
+    }
+
+    #[test]
+    fn unknown_versions_and_garbage_decode_to_none() {
+        assert!(JournalEntry::decode(b"v0\tfp=00").is_none());
+        assert!(JournalEntry::decode(b"not a record").is_none());
+        assert!(JournalEntry::decode(&[0xFF, 0xFE]).is_none());
+        // Missing required fields.
+        assert!(JournalEntry::decode(b"v1\tfp=0000000000000001").is_none());
+    }
+
+    #[test]
+    fn fingerprint_covers_pipeline_inputs() {
+        let p = proc_of("proc main(x) { a := 2; return a; }");
+        let q = proc_of("proc main(x) { a := 3; return a; }");
+        let base = fingerprint_proc(&p, &[], &[], 5, false, None);
+        assert_ne!(base, fingerprint_proc(&q, &[], &[], 5, false, None));
+        assert_ne!(base, fingerprint_proc(&p, &[], &[], 6, false, None));
+        assert_ne!(base, fingerprint_proc(&p, &[], &[], 5, true, None));
+        assert_ne!(base, fingerprint_proc(&p, &[], &[], 5, false, Some(100)));
+        assert_eq!(base, fingerprint_proc(&p, &[], &[], 5, false, None));
+    }
+
+    #[test]
+    fn replay_rejects_name_mismatch_and_bad_bodies() {
+        let p = proc_of("proc main(x) { return x; }");
+        let good = Cached {
+            entry: JournalEntry {
+                fingerprint: 1,
+                proc: "main".into(),
+                applied: 0,
+                rounds: 1,
+                body: "proc main(x) { return x; }".into(),
+            },
+            raw: Vec::new(),
+        };
+        assert!(replay(&p, &good).is_some());
+        let mut wrong_name = good.clone();
+        wrong_name.entry.proc = "other".into();
+        assert!(replay(&p, &wrong_name).is_none());
+        let mut bad_body = good;
+        bad_body.entry.body = "not a program".into();
+        assert!(replay(&p, &bad_body).is_none());
+    }
+
+    #[test]
+    fn unjournaled_session_matches_resilient_driver() {
+        let prog = parse_program("proc main(x) { a := 2; b := a; return b; }").unwrap();
+        let engine = Engine::new(LabelEnv::standard());
+        let (direct, direct_report) = engine.optimize_program_resilient(&prog, &[], &[], 5);
+        let mut session = OptimizeSession::new(engine);
+        let (out, report) = session.optimize_program(&prog, &[], &[], 5);
+        assert_eq!(
+            cobalt_il::pretty_program(&direct),
+            cobalt_il::pretty_program(&out)
+        );
+        assert_eq!(report.applied, direct_report.applied);
+        assert_eq!(report.cached, 0);
+        assert!(!session.is_journaled());
+    }
+}

@@ -150,8 +150,10 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Escapes a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+/// Escapes a string for inclusion in a JSON string literal. Shared by
+/// every hand-rolled JSON emitter in the workspace (lint diagnostics,
+/// engine pipeline reports) so escaping rules cannot drift.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -139,6 +139,58 @@ impl LoadReport {
     }
 }
 
+/// Escapes a record field for the tab-separated `key=value` codecs
+/// layered on this journal (verification and engine session records):
+/// backslash, tab, newline, and carriage return are escaped so a field
+/// can never alias the record's separators.
+pub fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_field`]. `None` on a malformed escape — callers
+/// treat the whole record as not cached (total decoding, never fatal).
+pub fn unescape_field(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// How a journal-backed session treats an existing journal. Shared by
+/// every journal consumer (verification sessions, engine fixpoint
+/// sessions) so the CLI's `--resume`/`--fresh` contract is one type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeMode {
+    /// Reuse every intact, fingerprint-matching cached outcome; the
+    /// default. An empty or absent journal resumes to nothing, so this
+    /// is always safe.
+    Resume,
+    /// Discard any existing journal contents and start cold.
+    Fresh,
+}
+
 /// The result of opening a journal: the handle, the recovered payloads
 /// (in append order), and what the loader had to discard.
 #[derive(Debug)]

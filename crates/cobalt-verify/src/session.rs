@@ -162,49 +162,12 @@ impl JournalEntry {
     }
 }
 
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '\t' => out.push_str("\\t"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            c => out.push(c),
-        }
-    }
-    out
-}
+use cobalt_support::journal::{escape_field as escape, unescape_field as unescape};
 
-fn unescape(s: &str) -> Option<String> {
-    let mut out = String::with_capacity(s.len());
-    let mut chars = s.chars();
-    while let Some(c) = chars.next() {
-        if c != '\\' {
-            out.push(c);
-            continue;
-        }
-        match chars.next()? {
-            '\\' => out.push('\\'),
-            't' => out.push('\t'),
-            'n' => out.push('\n'),
-            'r' => out.push('\r'),
-            _ => return None,
-        }
-    }
-    Some(out)
-}
-
-/// How [`Session::with_journal`] treats an existing journal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ResumeMode {
-    /// Reuse every intact, fingerprint-matching proved outcome; the
-    /// default. An empty or absent journal resumes to nothing, so this
-    /// is always safe.
-    Resume,
-    /// Discard any existing journal contents and start cold.
-    Fresh,
-}
+// `ResumeMode` moved to `cobalt-support::journal` (it is shared with
+// the engine's fixpoint sessions); re-exported here so existing users
+// keep compiling.
+pub use cobalt_support::journal::ResumeMode;
 
 /// A cached record plus its exact on-disk payload (kept so unchanged
 /// outcomes are carried into the compacted journal byte-for-byte).

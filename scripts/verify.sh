@@ -226,6 +226,97 @@ if ! grep -q "journaling disabled" <<<"$out"; then
     echo "parallel: lock-fault verify did not report degradation:"; echo "$out"; exit 1
 fi
 
+echo "== engine stage (governed, parallel, journaled optimize)"
+
+# A small multi-procedure program with a loop, so per-procedure
+# fixpoints do real work under --jobs and --timeout.
+engine_prog=$(mktemp /tmp/cobalt_engine_prog_XXXXXX.il)
+cat >"$engine_prog" <<'EOF'
+proc main(x) {
+    decl i;
+    decl s;
+    i := x;
+    s := 0;
+    if i goto 5 else 8;
+    s := s + i;
+    i := i - 1;
+    if i goto 5 else 8;
+    return s;
+}
+proc helper(n) {
+    decl a;
+    decl c;
+    a := 2;
+    c := a;
+    return c;
+}
+EOF
+
+# Determinism: optimized bytes at --jobs 1 and --jobs 4 must be
+# identical — no normalization, the engine reports carry no timestamps.
+opt_seq=$("$COBALT" optimize "$engine_prog" --jobs 1 2>&1)
+opt_par=$("$COBALT" optimize "$engine_prog" --jobs 4 2>&1)
+if [[ "$opt_seq" != "$opt_par" ]]; then
+    echo "engine: optimize --jobs 4 output diverged from --jobs 1:"
+    diff <(echo "$opt_seq") <(echo "$opt_par") || true
+    rm -f "$engine_prog"; exit 1
+fi
+
+# Resource governance: an already-expired deadline must exit 3 (the
+# printed program is unoptimized but correct), never hang or crash.
+set +e
+"$COBALT" optimize "$engine_prog" --timeout 0 --resilient >/dev/null 2>&1
+code=$?
+set -e
+if [[ $code -ne 3 ]]; then
+    echo "engine: optimize --timeout 0 exited $code (want 3)"; rm -f "$engine_prog"; exit 1
+fi
+
+# Fault injection: an injected fixpoint failure quarantines the pass —
+# exit 0 with a degradation note, not a hard failure.
+set +e
+out=$(COBALT_FAULTS=engine.fixpoint:fail@1 "$COBALT" optimize "$engine_prog" --resilient 2>&1)
+code=$?
+set -e
+if [[ $code -ne 0 ]]; then
+    echo "engine: fixpoint-fault optimize exited $code (want 0):"; echo "$out"; rm -f "$engine_prog"; exit 1
+fi
+if ! grep -q "degraded" <<<"$out"; then
+    echo "engine: fixpoint-fault optimize did not report degradation:"; echo "$out"; rm -f "$engine_prog"; exit 1
+fi
+
+# Crash-safe journaling: a cold journaled run completes and records
+# every procedure; the warm rerun replays them as cached with
+# byte-identical program text (the resume path a killed run takes).
+engine_journal=$(mktemp -u /tmp/cobalt_engine_journal_XXXXXX.cobj)
+cold=$("$COBALT" optimize "$engine_prog" --journal "$engine_journal" 2>&1)
+if [[ ! -s "$engine_journal" ]]; then
+    echo "engine: journaled optimize left no journal file"; rm -f "$engine_prog" "$engine_journal"; exit 1
+fi
+warm=$("$COBALT" optimize "$engine_prog" --journal "$engine_journal" 2>&1)
+if ! grep -q "procs cached" <<<"$warm"; then
+    echo "engine: warm optimize replayed nothing:"; echo "$warm"; rm -f "$engine_prog" "$engine_journal"; exit 1
+fi
+if [[ "$(grep -v '^//' <<<"$cold")" != "$(grep -v '^//' <<<"$warm")" ]]; then
+    echo "engine: warm optimize program text diverged from cold run"
+    diff <(echo "$cold") <(echo "$warm") || true
+    rm -f "$engine_prog" "$engine_journal"; exit 1
+fi
+
+# Journal trouble must degrade, not fail: an injected engine.journal
+# fault leaves exit 0 with the "journaling disabled" note.
+set +e
+out=$(COBALT_FAULTS=engine.journal:fail@1 "$COBALT" optimize "$engine_prog" --journal "$engine_journal" 2>&1)
+code=$?
+set -e
+rm -f "$engine_prog" "$engine_journal"
+if [[ $code -ne 0 ]]; then
+    echo "engine: journal-fault optimize exited $code (want 0):"; echo "$out"; exit 1
+fi
+if ! grep -q "journaling disabled" <<<"$out"; then
+    echo "engine: journal-fault optimize did not report degradation:"; echo "$out"; exit 1
+fi
+
 echo "== perf stage (prover_speed trajectory)"
 
 # The raw-speed trajectory datapoint (ISSUE 6, BENCH_*.json): run the

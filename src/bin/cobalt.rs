@@ -4,6 +4,8 @@
 //! ```text
 //! cobalt run <prog.il> [--arg N]
 //! cobalt optimize <prog.il> [--passes a,b,…|all] [--rounds N] [--recursive-dae] [--resilient]
+//!                 [--timeout SECS] [--max-steps N] [--jobs N]
+//!                 [--journal PATH [--resume|--fresh]] [--json]
 //! cobalt verify [<suite.cob>] [--include-buggy] [--timeout SECS] [--max-splits N]
 //!               [--jobs N] [--journal PATH [--resume|--fresh]]
 //! cobalt lint [<file.il|file.cob>…] [--json] [--deny warn]
@@ -15,11 +17,15 @@
 //! (unsound); 3 failures were resource limits only (inconclusive);
 //! 1 anything else.
 //!
+//! `optimize` exit codes: 0 ok; 3 a pass hit a resource limit (the
+//! printed program is still correct — the pass was skipped, never
+//! misapplied); 1 anything else.
+//!
 //! `lint` exit codes: 0 clean; 4 lint errors (or warnings under
 //! `--deny warn`); 1 anything else (unreadable file, parse error).
 
 use cobalt::dsl::{LabelEnv, Optimization, PureAnalysis};
-use cobalt::engine::Engine;
+use cobalt::engine::{Budget, Engine, EngineError, OptimizeSession};
 use cobalt::il::{parse_program, pretty_program, Interp};
 use cobalt::verify::{ResumeMode, RetryPolicy, SemanticMeanings, Session, Verifier};
 use std::process::ExitCode;
@@ -82,9 +88,20 @@ const USAGE: &str = "usage:
   cobalt run <prog.il> [--arg N]
       parse, validate, and interpret main(N) (default N = 0)
   cobalt optimize <prog.il> [--passes a,b|all] [--rounds N] [--recursive-dae]
-                  [--resilient]
+                  [--resilient] [--timeout SECS] [--max-steps N] [--jobs N]
+                  [--journal PATH [--resume|--fresh]] [--json]
       run the (machine-verified) optimization suite and print the
-      result; --resilient skips (rather than propagates) failing passes
+      result; --resilient skips (rather than propagates) failing passes.
+      --timeout bounds wall-clock for the whole run and --max-steps caps
+      fixpoint steps per procedure; a budget-exhausted pass is skipped
+      soundly and the run exits 3. --jobs optimizes procedures across N
+      pool workers (default 1, or COBALT_JOBS) with byte-identical
+      output at any count. --journal records per-procedure fixpoint
+      results in a crash-safe journal and (by default, or with --resume)
+      replays completed procedures as cached after a kill; --fresh
+      discards it first. --json prints the pipeline report as JSON
+      lines instead of the program. --jobs/--journal/--json imply
+      --resilient. exit codes: 0 ok, 3 resource-limited, 1 other errors
   cobalt verify [<suite.cob>] [--include-buggy] [--timeout SECS] [--max-splits N]
                 [--jobs N] [--journal PATH [--resume|--fresh]]
       prove every optimization sound; with no file, the built-in suite.
@@ -120,7 +137,7 @@ fn run_cli(args: &[String]) -> Result<String, CliError> {
     match it.next().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]).map_err(CliError::general),
         Some("trace") => cmd_trace(&args[1..]).map_err(CliError::general),
-        Some("optimize") => cmd_optimize(&args[1..]).map_err(CliError::general),
+        Some("optimize") => cmd_optimize(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]).map_err(CliError::general),
@@ -155,7 +172,7 @@ fn positional(args: &[String]) -> Vec<&str> {
             skip = matches!(
                 a.as_str(),
                 "--arg" | "--passes" | "--rounds" | "--tries" | "--timeout" | "--max-splits"
-                    | "--jobs" | "--deny" | "--journal"
+                    | "--max-steps" | "--jobs" | "--deny" | "--journal"
             ) && i + 1 < args.len();
             continue;
         }
@@ -219,10 +236,45 @@ fn suite_by_names(names: &str) -> Result<Vec<Optimization>, String> {
         .collect()
 }
 
-fn cmd_optimize(args: &[String]) -> Result<String, String> {
+/// Builds the engine [`Budget`] for `optimize` from `--timeout`
+/// (wall-clock for the whole run, fractions allowed) and `--max-steps`
+/// (fixpoint step cap per procedure).
+fn optimize_budget(args: &[String]) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    if let Some(secs) = flag_value(args, "--timeout") {
+        let secs: f64 = secs.parse().map_err(|e| format!("--timeout: {e}"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!("--timeout: expected a nonnegative number, got `{secs}`"));
+        }
+        budget = budget.with_deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(n) = flag_value(args, "--max-steps") {
+        let n: u64 = n.parse().map_err(|e| format!("--max-steps: {e}"))?;
+        budget = budget.with_max_steps(n);
+    }
+    Ok(budget)
+}
+
+/// Maps an engine error onto the optimize exit-code contract: resource
+/// exhaustion is exit 3 (inconclusive, nothing wrong with the program),
+/// everything else exit 1.
+fn engine_cli_error(e: &EngineError) -> CliError {
+    CliError {
+        code: match e {
+            EngineError::ResourceLimited(_) => EXIT_RESOURCE_LIMITED,
+            _ => 1,
+        },
+        msg: e.to_string(),
+        out: None,
+    }
+}
+
+fn cmd_optimize(args: &[String]) -> Result<String, CliError> {
     let pos = positional(args);
     let [path] = pos.as_slice() else {
-        return Err(format!("optimize: expected one program file\n{USAGE}"));
+        return Err(CliError::general(format!(
+            "optimize: expected one program file\n{USAGE}"
+        )));
     };
     let rounds: usize = flag_value(args, "--rounds")
         .unwrap_or("4")
@@ -231,33 +283,69 @@ fn cmd_optimize(args: &[String]) -> Result<String, String> {
     let passes = suite_by_names(flag_value(args, "--passes").unwrap_or("all"))?;
     let prog = parse_program(&read(path)?).map_err(|e| e.to_string())?;
     cobalt::il::validate(&prog).map_err(|e| e.to_string())?;
-    let engine = Engine::new(LabelEnv::standard());
-    if args.iter().any(|a| a == "--resilient") {
-        // Fault-isolating pipeline: a pass that errors or panics is
-        // skipped (soundly — see DESIGN.md §8), never fatal.
-        let (out, report) = engine.optimize_program_resilient(
-            &prog,
-            &cobalt::opts::all_analyses(),
-            &passes,
-            rounds,
-        );
-        let mut s = format!("// {}\n", report.summary());
-        for f in &report.failures {
-            s.push_str(&format!("// skipped: {f}\n"));
+    let engine = Engine::new(LabelEnv::standard()).with_budget(optimize_budget(args)?);
+    let json = args.iter().any(|a| a == "--json");
+    let journal = journal_spec(args, "optimize")?;
+    // The session driver carries resilient (pass-quarantining)
+    // semantics; journaling, parallelism, and machine-readable reports
+    // only make sense there, so those flags imply --resilient.
+    let resilient = args.iter().any(|a| a == "--resilient")
+        || json
+        || journal.is_some()
+        || flag_value(args, "--jobs").is_some();
+    if resilient {
+        let mut session = OptimizeSession::new(engine).with_jobs(verify_jobs(args)?);
+        if let Some((jpath, mode)) = journal {
+            session = session.with_journal(jpath, mode);
         }
-        s.push_str(&pretty_program(&out));
+        let (out, report) =
+            session.optimize_program(&prog, &cobalt::opts::all_analyses(), &passes, rounds);
+        session.finish();
+        let s = if json {
+            // Machine-readable: the report only (JSON lines, stable
+            // bytes at any --jobs count).
+            format!("{}\n", report.json_lines())
+        } else {
+            let mut s = String::new();
+            if session.load_report().corrupted() {
+                s.push_str(&format!(
+                    "// note: journal recovered {} record(s), discarded {} corrupt byte(s)\n",
+                    session.load_report().records,
+                    session.load_report().discarded_bytes,
+                ));
+            }
+            if let Some(reason) = session.degraded() {
+                // Journal trouble never fails optimization — it
+                // degrades to an unjournaled run and says so.
+                s.push_str(&format!("// note: journaling disabled ({reason})\n"));
+            }
+            s.push_str(&format!("// {}\n", report.summary()));
+            for f in &report.failures {
+                s.push_str(&format!("// skipped: {f}\n"));
+            }
+            s.push_str(&pretty_program(&out));
+            s
+        };
+        if report.resource_limited() {
+            return Err(CliError {
+                code: EXIT_RESOURCE_LIMITED,
+                msg: "optimization hit resource limits; affected passes were skipped soundly"
+                    .into(),
+                out: Some(s),
+            });
+        }
         return Ok(s);
     }
     let (mut out, n) = engine
         .optimize_program(&prog, &cobalt::opts::all_analyses(), &passes, rounds)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| engine_cli_error(&e))?;
     let mut extra = 0;
     if args.iter().any(|a| a == "--recursive-dae") {
         let mut next = out.clone();
         for proc in &out.procs {
             let (p, removed) =
                 cobalt::engine::apply_recursive(&engine, proc, &cobalt::opts::dae())
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| engine_cli_error(&e))?;
             extra += removed.len();
             next = next.with_proc_replaced(p);
         }
@@ -328,35 +416,47 @@ fn verify_jobs(args: &[String]) -> Result<usize, String> {
     Ok(jobs)
 }
 
-/// Builds the verification session for `verify` from `--journal PATH`
-/// and the mutually exclusive `--resume`/`--fresh` mode flags. Both
-/// mode flags require `--journal`; with `--journal` alone the session
-/// resumes (an absent or empty journal resumes to nothing, so this is
-/// always safe). A journal path that cannot be opened is a typed CLI
-/// error (exit 1), not a panic.
-fn verify_session(args: &[String], verifier: Verifier) -> Result<Session, CliError> {
+/// Parses `--journal PATH` plus the mutually exclusive
+/// `--resume`/`--fresh` mode flags (shared by `verify` and `optimize`).
+/// Both mode flags require `--journal`; with `--journal` alone the
+/// session resumes (an absent or empty journal resumes to nothing, so
+/// this is always safe). `cmd` prefixes error messages.
+fn journal_spec<'a>(
+    args: &'a [String],
+    cmd: &str,
+) -> Result<Option<(&'a str, ResumeMode)>, CliError> {
     let resume = args.iter().any(|a| a == "--resume");
     let fresh = args.iter().any(|a| a == "--fresh");
     if resume && fresh {
-        return Err(CliError::general(
-            "verify: --resume and --fresh are mutually exclusive",
-        ));
+        return Err(CliError::general(format!(
+            "{cmd}: --resume and --fresh are mutually exclusive"
+        )));
     }
     match flag_value(args, "--journal") {
-        None if resume || fresh => Err(CliError::general(
-            "verify: --resume/--fresh require --journal PATH",
-        )),
-        None => Ok(Session::new(verifier)),
+        None if resume || fresh => Err(CliError::general(format!(
+            "{cmd}: --resume/--fresh require --journal PATH"
+        ))),
+        None => Ok(None),
         Some(path) => {
             let mode = if fresh {
                 ResumeMode::Fresh
             } else {
                 ResumeMode::Resume
             };
-            Session::with_journal(verifier, path, mode).map_err(|e| {
-                CliError::general(format!("verify: opening journal `{path}`: {e}"))
-            })
+            Ok(Some((path, mode)))
         }
+    }
+}
+
+/// Builds the verification session for `verify` from the journal spec.
+/// A journal path that cannot be opened is a typed CLI error (exit 1),
+/// not a panic.
+fn verify_session(args: &[String], verifier: Verifier) -> Result<Session, CliError> {
+    match journal_spec(args, "verify")? {
+        None => Ok(Session::new(verifier)),
+        Some((path, mode)) => Session::with_journal(verifier, path, mode).map_err(|e| {
+            CliError::general(format!("verify: opening journal `{path}`: {e}"))
+        }),
     }
 }
 
@@ -640,6 +740,161 @@ mod tests {
         .unwrap();
         assert!(out.contains("c := 2"), "{out}");
         std::fs::remove_file(p).ok();
+    }
+
+    /// A small two-procedure program with a loop, so fixpoints take
+    /// enough steps to exercise budgets and parallelism.
+    const TWO_PROCS: &str = "proc f(x) { decl a; decl c; a := 2; c := a; return c; }
+proc main(x) {
+    decl i;
+    decl s;
+    i := x;
+    s := 0;
+    if i goto 5 else 8;
+    s := s + i;
+    i := i - 1;
+    if i goto 5 else 8;
+    return s;
+}";
+
+    #[test]
+    fn optimize_timeout_zero_exits_resource_limited() {
+        let p = write_tmp("opt_to.il", TWO_PROCS);
+        // Strict driver: the engine error surfaces as exit 3.
+        let err = run_cli(&["optimize".into(), p.clone(), "--timeout".into(), "0".into()])
+            .unwrap_err();
+        assert_eq!(err.code, EXIT_RESOURCE_LIMITED, "{}", err.msg);
+        // Resilient driver: same exit code, but the (unoptimized,
+        // still-correct) program is printed with a degradation note.
+        let err = run_cli(&[
+            "optimize".into(),
+            p.clone(),
+            "--timeout".into(),
+            "0".into(),
+            "--resilient".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_RESOURCE_LIMITED, "{}", err.msg);
+        let out = err.out.expect("resilient run still prints the program");
+        assert!(out.contains("proc main"), "{out}");
+        assert!(out.contains("resource limited"), "{out}");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn optimize_max_steps_zero_quarantines_soundly() {
+        let p = write_tmp("opt_ms.il", TWO_PROCS);
+        let err = run_cli(&[
+            "optimize".into(),
+            p.clone(),
+            "--max-steps".into(),
+            "0".into(),
+            "--resilient".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_RESOURCE_LIMITED, "{}", err.msg);
+        let out = err.out.unwrap();
+        // Nothing was rewritten — the program must round-trip intact.
+        assert!(out.contains("step cap exhausted"), "{out}");
+        assert!(out.contains("s := s + i"), "{out}");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn optimize_json_emits_report_lines_only() {
+        let p = write_tmp("opt_json.il", TWO_PROCS);
+        let out = run_cli(&["optimize".into(), p.clone(), "--json".into()]).unwrap();
+        let mut lines = out.lines();
+        let first = lines.next().unwrap();
+        assert!(first.starts_with("{\"type\":\"summary\""), "{first}");
+        assert!(first.contains("\"applied\":"), "{first}");
+        // No program text in machine-readable mode.
+        assert!(!out.contains("proc main"), "{out}");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn optimize_jobs_output_is_byte_identical() {
+        let p = write_tmp("opt_jobs.il", TWO_PROCS);
+        let one = run_cli(&["optimize".into(), p.clone(), "--jobs".into(), "1".into()]).unwrap();
+        let four = run_cli(&["optimize".into(), p.clone(), "--jobs".into(), "4".into()]).unwrap();
+        assert_eq!(one, four);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn optimize_journal_resumes_warm() {
+        let p = write_tmp("opt_jnl.il", TWO_PROCS);
+        let jpath = std::env::temp_dir().join(format!("cobalt_cli_{}_opt.journal", std::process::id()));
+        let j = jpath.to_string_lossy().into_owned();
+        let cold = run_cli(&["optimize".into(), p.clone(), "--journal".into(), j.clone()]).unwrap();
+        assert!(!cold.contains("cached"), "{cold}");
+        let warm = run_cli(&["optimize".into(), p.clone(), "--journal".into(), j.clone()]).unwrap();
+        assert!(warm.contains("2 procs cached"), "{warm}");
+        // Warm resume replays the same result: program text identical.
+        assert_eq!(
+            cold.lines().skip(1).collect::<Vec<_>>(),
+            warm.lines().skip(1).collect::<Vec<_>>(),
+        );
+        // --fresh discards the cache and recomputes.
+        let fresh = run_cli(&[
+            "optimize".into(),
+            p.clone(),
+            "--journal".into(),
+            j.clone(),
+            "--fresh".into(),
+        ])
+        .unwrap();
+        assert!(!fresh.contains("cached"), "{fresh}");
+        std::fs::remove_file(p).ok();
+        std::fs::remove_file(jpath).ok();
+    }
+
+    #[test]
+    fn optimize_journal_mode_flags_are_validated() {
+        let p = write_tmp("opt_jv.il", TWO_PROCS);
+        let err = run_cli(&["optimize".into(), p.clone(), "--resume".into()]).unwrap_err();
+        assert!(err.msg.contains("require --journal"), "{}", err.msg);
+        let err = run_cli(&[
+            "optimize".into(),
+            p.clone(),
+            "--journal".into(),
+            "x.journal".into(),
+            "--resume".into(),
+            "--fresh".into(),
+        ])
+        .unwrap_err();
+        assert!(err.msg.contains("mutually exclusive"), "{}", err.msg);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn optimize_fixpoint_fault_degrades_not_fatal() {
+        let p = write_tmp("opt_fault.il", TWO_PROCS);
+        let out = cobalt_support::fault::with_faults("engine.fixpoint:fail@1", || {
+            run_cli(&["optimize".into(), p.clone(), "--resilient".into()]).unwrap()
+        });
+        // The injected failure quarantines one pass; the run still
+        // succeeds (exit 0) and prints a valid program.
+        assert!(out.contains("degraded"), "{out}");
+        assert!(out.contains("injected fault"), "{out}");
+        assert!(out.contains("proc main"), "{out}");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn optimize_journal_fault_degrades_to_unjournaled() {
+        let p = write_tmp("opt_jfault.il", TWO_PROCS);
+        let jpath =
+            std::env::temp_dir().join(format!("cobalt_cli_{}_optjf.journal", std::process::id()));
+        let j = jpath.to_string_lossy().into_owned();
+        let out = cobalt_support::fault::with_faults("engine.journal:fail@1", || {
+            run_cli(&["optimize".into(), p.clone(), "--journal".into(), j.clone()]).unwrap()
+        });
+        assert!(out.contains("journaling disabled"), "{out}");
+        assert!(out.contains("proc main"), "{out}");
+        std::fs::remove_file(p).ok();
+        std::fs::remove_file(jpath).ok();
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! change throughput, not verdicts.
 
 use cobalt::dsl::LabelEnv;
+use cobalt::engine::{Engine, OptimizeSession};
+use cobalt::il::pretty_program;
 use cobalt::verify::{Report, ResumeMode, SemanticMeanings, Session, Verifier};
+use cobalt_bench::many_proc_program;
 use cobalt_support::journal::Journal;
 use cobalt_support::{fault, prop, prop_assert, prop_assert_eq, props};
 use std::path::PathBuf;
@@ -246,6 +249,121 @@ fn kill_mid_parallel_run_resumes_from_the_journal() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Runs a full journaled optimization of `prog` at the given worker
+/// count and returns everything observable: program text, the
+/// machine-readable report, and the compacted journal bytes.
+fn optimize_observables(
+    prog: &cobalt::il::Program,
+    jobs: usize,
+    tag: &str,
+) -> (String, String, Vec<u8>) {
+    let path = scratch_journal(tag);
+    let mut session = OptimizeSession::new(Engine::new(LabelEnv::standard()))
+        .with_jobs(jobs)
+        .with_journal(&path, ResumeMode::Resume);
+    assert!(session.is_journaled(), "{:?}", session.degraded());
+    let (out, report) = session.optimize_program(
+        prog,
+        &cobalt::opts::all_analyses(),
+        &cobalt::opts::default_pipeline(),
+        3,
+    );
+    session.finish();
+    assert!(session.degraded().is_none(), "{:?}", session.degraded());
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    (pretty_program(&out), report.json_lines(), bytes)
+}
+
+/// Acceptance (ISSUE 7): over a 12-procedure program, the optimized
+/// program bytes, the pipeline report, and the journal bytes are
+/// byte-identical at jobs 1 and 4 — `--jobs` may only change
+/// wall-clock, never output. (Engine journal records carry no
+/// timestamps at all, so this is raw `==`, no normalization.)
+#[test]
+fn optimize_output_report_and_journal_bytes_identical_at_jobs_one_and_four() {
+    let prog = many_proc_program(12, 30, 7);
+    let (p1, r1, j1) = optimize_observables(&prog, 1, "opt_bytes_j1");
+    let (p4, r4, j4) = optimize_observables(&prog, 4, "opt_bytes_j4");
+    assert_eq!(p1, p4, "optimized program must not depend on --jobs");
+    assert_eq!(r1, r4, "pipeline report must not depend on --jobs");
+    assert_eq!(j1, j4, "journal bytes must not depend on --jobs");
+}
+
+/// Cross-run determinism regression (ISSUE 7 satellite): dataflow fact
+/// sets iterate in canonical order, so two runs in fresh processes —
+/// here, fresh engines in one process, which with the former
+/// `RandomState`-hashed fact sets already diverged — produce identical
+/// bytes. Guards against reintroducing iteration-order dependence.
+#[test]
+fn optimize_runs_are_deterministic_across_engines() {
+    let prog = many_proc_program(6, 35, 19);
+    let render = || {
+        let (out, report) = Engine::new(LabelEnv::standard()).optimize_program_resilient(
+            &prog,
+            &cobalt::opts::all_analyses(),
+            &cobalt::opts::default_pipeline(),
+            3,
+        );
+        format!("{}\n{}", report.json_lines(), pretty_program(&out))
+    };
+    let first = render();
+    for _ in 0..3 {
+        assert_eq!(first, render(), "optimization must be run-deterministic");
+    }
+}
+
+/// A worker panic injected into the optimization pool is retried by the
+/// supervisor; if the pass dies again the procedure is quarantined
+/// whole — but a one-shot fault must yield output identical to the
+/// clean sequential run.
+#[test]
+fn optimize_worker_panic_is_retried_to_identical_output() {
+    let prog = many_proc_program(8, 25, 3);
+    let analyses = cobalt::opts::all_analyses();
+    let passes = cobalt::opts::default_pipeline();
+    let (baseline, base_report) = Engine::new(LabelEnv::standard())
+        .optimize_program_resilient(&prog, &analyses, &passes, 3);
+    let mut session = OptimizeSession::new(Engine::new(LabelEnv::standard())).with_jobs(4);
+    let (out, report) = fault::with_faults("pool.task:panic@2", || {
+        session.optimize_program(&prog, &analyses, &passes, 3)
+    });
+    assert_eq!(pretty_program(&baseline), pretty_program(&out));
+    assert_eq!(base_report.json_lines(), report.json_lines());
+}
+
+/// A journal written at one worker count warms a resume at another:
+/// every procedure replays as cached, and the replayed program is
+/// byte-identical to the one the cold run emitted.
+#[test]
+fn optimize_journal_warms_across_jobs_counts() {
+    let prog = many_proc_program(10, 25, 11);
+    let analyses = cobalt::opts::all_analyses();
+    let passes = cobalt::opts::default_pipeline();
+    let path = scratch_journal("opt_warm_cross");
+    let mut cold = OptimizeSession::new(Engine::new(LabelEnv::standard()))
+        .with_jobs(4)
+        .with_journal(&path, ResumeMode::Resume);
+    let (cold_out, cold_report) = cold.optimize_program(&prog, &analyses, &passes, 3);
+    cold.finish();
+    assert_eq!(cold_report.cached, 0);
+
+    let mut warm = OptimizeSession::new(Engine::new(LabelEnv::standard()))
+        .with_jobs(1)
+        .with_journal(&path, ResumeMode::Resume);
+    let (warm_out, warm_report) = warm.optimize_program(&prog, &analyses, &passes, 3);
+    warm.finish();
+    assert_eq!(
+        warm_report.cached,
+        prog.procs.len(),
+        "{}",
+        warm_report.summary()
+    );
+    assert_eq!(warm_report.applied, cold_report.applied);
+    assert_eq!(pretty_program(&cold_out), pretty_program(&warm_out));
+    std::fs::remove_file(&path).ok();
+}
+
 props! {
     config = prop::Config::with_cases(12);
 
@@ -295,5 +413,26 @@ props! {
         };
         prop_assert!(degraded_ok, "lock fault must mark the session degraded");
         prop_assert_eq!(normalize(&baseline), normalized);
+    }
+
+    /// Seeded byte-identity sweep for the optimizer: any generated
+    /// multi-procedure program, any worker count 1..=4 — the optimized
+    /// program and pipeline report always equal the sequential
+    /// baseline byte-for-byte.
+    fn optimize_any_seed_any_jobs_matches_sequential(
+        seed in 0u64..1_000,
+        jobs in 1usize..5,
+        procs in 2usize..7,
+    ) {
+        let prog = many_proc_program(procs, 20, seed);
+        let analyses = cobalt::opts::all_analyses();
+        let passes = cobalt::opts::default_pipeline();
+        let (base_out, base_report) = Engine::new(LabelEnv::standard())
+            .optimize_program_resilient(&prog, &analyses, &passes, 2);
+        let mut session =
+            OptimizeSession::new(Engine::new(LabelEnv::standard())).with_jobs(jobs);
+        let (out, report) = session.optimize_program(&prog, &analyses, &passes, 2);
+        prop_assert_eq!(pretty_program(&base_out), pretty_program(&out));
+        prop_assert_eq!(base_report.json_lines(), report.json_lines());
     }
 }

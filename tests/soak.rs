@@ -12,8 +12,8 @@
 //! experiment E7.
 
 use cobalt::dsl::LabelEnv;
-use cobalt::engine::Engine;
-use cobalt::il::{generate, EvalError, GenConfig, Interp};
+use cobalt::engine::{Engine, OptimizeSession};
+use cobalt::il::{generate, pretty_program, EvalError, GenConfig, Interp, Program};
 use cobalt::verify::{ResumeMode, SemanticMeanings, Session, Verifier};
 use cobalt_support::rng::Rng;
 
@@ -133,6 +133,104 @@ fn journal_crash_resume_soak() {
         }
     }
     println!("journal soak: 300 rounds, {kills} kills, {tears} tears, {flips} flips survived");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Engine journal crash/resume soak (ISSUE 7): rounds of an optimize
+/// session killed after journaling a random prefix of the program's
+/// procedures — sometimes with the journal tail torn or bit-flipped, as
+/// a dying machine would leave it — then resumed at an alternating
+/// worker count. Every resume must open without panicking, never trust
+/// a damaged record (the checksummed loader discards it and the
+/// procedure re-optimizes), and produce output byte-identical to the
+/// clean baseline; a completed round warms the next full run entirely.
+#[test]
+#[ignore = "soak test: minutes of CPU; run explicitly"]
+fn engine_journal_crash_resume_soak() {
+    let path = std::env::temp_dir().join(format!(
+        "cobalt_soak_engine_{}.cobj",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    let prog = cobalt_bench::many_proc_program(10, 20, 0xC0BA17);
+    let analyses = cobalt::opts::all_analyses();
+    let passes = cobalt::opts::default_pipeline();
+    let engine = || Engine::new(LabelEnv::standard());
+    let (baseline, base_report) =
+        engine().optimize_program_resilient(&prog, &analyses, &passes, 3);
+    assert!(!base_report.degraded(), "{:#?}", base_report.failures);
+    let baseline = pretty_program(&baseline);
+    let mut rng = Rng::seed_from_u64(0xC0BA17);
+    let (mut kills, mut tears, mut flips) = (0u32, 0u32, 0u32);
+
+    for round in 0..150u32 {
+        let jobs = if round % 2 == 0 { 4 } else { 1 };
+        let survive = rng.gen_range(0..=prog.procs.len());
+        let mut session = OptimizeSession::new(engine())
+            .with_jobs(jobs)
+            .with_journal(&path, ResumeMode::Resume);
+        assert!(
+            session.is_journaled(),
+            "round {round}: the journal must always reopen: {:?}",
+            session.degraded()
+        );
+        if survive == prog.procs.len() {
+            let (out, report) = session.optimize_program(&prog, &analyses, &passes, 3);
+            session.finish();
+            assert!(session.degraded().is_none(), "round {round}");
+            assert_eq!(
+                pretty_program(&out),
+                baseline,
+                "round {round}: resumed output must match the clean run"
+            );
+            assert_eq!(report.applied, base_report.applied, "round {round}");
+            // A completed journal warms the very next full run entirely.
+            let mut warm = OptimizeSession::new(engine())
+                .with_jobs(5 - jobs)
+                .with_journal(&path, ResumeMode::Resume);
+            let (warm_out, warm_report) =
+                warm.optimize_program(&prog, &analyses, &passes, 3);
+            warm.finish();
+            assert_eq!(
+                warm_report.cached,
+                prog.procs.len(),
+                "round {round}: {}",
+                warm_report.summary()
+            );
+            assert_eq!(pretty_program(&warm_out), baseline, "round {round}");
+        } else {
+            // The kill: journal only the first `survive` procedures,
+            // then die without finish() — no compaction.
+            kills += 1;
+            let partial = Program::new(prog.procs[..survive].to_vec());
+            session.optimize_program(&partial, &analyses, &passes, 3);
+            drop(session);
+        }
+
+        // Occasionally damage the tail the way dying hardware does.
+        let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        match rng.gen_range(0u32..4) {
+            0 if len > 4 => {
+                tears += 1;
+                let cut = len - rng.gen_range(1..=4.min(len));
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .unwrap()
+                    .set_len(cut)
+                    .unwrap();
+            }
+            1 if len > 0 => {
+                flips += 1;
+                let mut bytes = std::fs::read(&path).unwrap();
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] ^= 1u8 << rng.gen_range(0u32..8);
+                std::fs::write(&path, bytes).unwrap();
+            }
+            _ => {}
+        }
+    }
+    println!("engine soak: 150 rounds, {kills} kills, {tears} tears, {flips} flips survived");
     std::fs::remove_file(&path).ok();
 }
 
