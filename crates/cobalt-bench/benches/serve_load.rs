@@ -1,0 +1,189 @@
+//! Experiment E9: daemon-mode verification throughput (ISSUE 9).
+//!
+//! Drives an in-process `cobalt serve` daemon with concurrent clients
+//! over loopback TCP and measures what the shared single-flight proof
+//! cache buys: a **cold** phase proves N distinct one-rule suites
+//! (every request is a fresh prover run), then a **warm** phase
+//! replays the same N suites from C clients at once (every request
+//! should be answered from the cache or coalesced onto an in-flight
+//! twin). Reported per phase: client-observed p50/p95 latency
+//! (connect + round trip included — one TCP connection per request,
+//! exactly like the `cobalt client` CLI), wall-clock, throughput, and
+//! the warm cache-served rate taken from the daemon's own counters.
+//!
+//! Not a `cobalt_support::bench` harness: a load generator wants
+//! latency *distributions* across concurrent clients, not iteration
+//! medians of a closed loop. `COBALT_BENCH_FAST=1` shrinks the run.
+
+use cobalt_serve::exec::ExecConfig;
+use cobalt_serve::{request_with_retry, ClientConfig, Request, RequestOp, ServeConfig, Server};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Distinct rule names give every suite a distinct fingerprint, so the
+/// cold phase cannot accidentally hit the cache.
+fn suite(i: usize) -> String {
+    format!(
+        "forward load_cp_{i} {{\n  stmt(Y := C) followed by !mayDef(Y)\n  \
+         until X := Y => X := C\n  with witness eta(Y) == C\n}}"
+    )
+}
+
+fn verify_req(id: String, src: &str) -> Request {
+    Request {
+        id,
+        op: RequestOp::Verify {
+            suite: Some(src.to_string()),
+            include_buggy: false,
+        },
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+/// Runs `clients` threads that pop work items (suite indices) from a
+/// shared list until it is empty, returning every observed latency in
+/// microseconds plus the phase wall-clock.
+fn run_phase(
+    addr: &str,
+    suites: &Arc<Vec<String>>,
+    work: Vec<usize>,
+    clients: usize,
+    tag: &str,
+) -> (Vec<u64>, Duration) {
+    let work = Arc::new(work);
+    let next = Arc::new(AtomicUsize::new(0));
+    let latencies = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let (addr, suites, work, next, latencies) = (
+                addr.to_string(),
+                Arc::clone(suites),
+                Arc::clone(&work),
+                Arc::clone(&next),
+                Arc::clone(&latencies),
+            );
+            let tag = tag.to_string();
+            std::thread::spawn(move || {
+                let cfg = ClientConfig {
+                    addr,
+                    io_timeout: Duration::from_secs(600),
+                    retries: 4,
+                    backoff_base: Duration::from_millis(5),
+                    backoff_cap: Duration::from_millis(200),
+                };
+                let mut mine = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let req = verify_req(format!("{tag}-c{c}-{i}"), &suites[work[i]]);
+                    let t = Instant::now();
+                    let resp = request_with_retry(&cfg, &req)
+                        .unwrap_or_else(|e| panic!("{tag} request {i}: {e}"));
+                    assert_eq!(resp.exit, 0, "{tag} request {i}: {}", resp.output);
+                    mine.push(t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                }
+                latencies.lock().unwrap().extend(mine);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let wall = start.elapsed();
+    let mut all = Arc::try_unwrap(latencies).unwrap().into_inner().unwrap();
+    all.sort_unstable();
+    (all, wall)
+}
+
+fn counters(addr: &str) -> std::collections::HashMap<String, u64> {
+    let cfg = ClientConfig { addr: addr.to_string(), ..ClientConfig::default() };
+    let resp = request_with_retry(&cfg, &Request { id: "stats".into(), op: RequestOp::Stats })
+        .expect("stats");
+    resp.output
+        .split_whitespace()
+        .filter_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            Some((k.to_string(), v.parse().ok()?))
+        })
+        .collect()
+}
+
+fn report(phase: &str, n: usize, lat_us: &[u64], wall: Duration) {
+    println!(
+        "serve_load/{phase}: n={n} p50={:.2}ms p95={:.2}ms wall={:.1}ms throughput={:.1} req/s",
+        percentile(lat_us, 50.0),
+        percentile(lat_us, 95.0),
+        wall.as_secs_f64() * 1000.0,
+        n as f64 / wall.as_secs_f64().max(1e-9),
+    );
+}
+
+fn main() {
+    let fast = std::env::var("COBALT_BENCH_FAST").is_ok();
+    let (n_suites, clients, warm_reps) = if fast { (6, 4, 1) } else { (24, 8, 2) };
+    let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4);
+
+    let handle = Server::start(ServeConfig {
+        jobs,
+        queue_cap: 1024,
+        exec: ExecConfig::default(),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr().to_string();
+    let suites = Arc::new((0..n_suites).map(suite).collect::<Vec<_>>());
+
+    // Cold: every suite exactly once, all fingerprints distinct.
+    let (cold_lat, cold_wall) =
+        run_phase(&addr, &suites, (0..n_suites).collect(), clients, "cold");
+    report("cold", n_suites, &cold_lat, cold_wall);
+    let after_cold = counters(&addr);
+
+    // Warm: every client replays the full suite list `warm_reps`
+    // times; the daemon should serve (nearly) all of it from cache.
+    let warm_work: Vec<usize> =
+        (0..clients * warm_reps).flat_map(|_| 0..n_suites).collect();
+    let warm_n = warm_work.len();
+    let (warm_lat, warm_wall) = run_phase(&addr, &suites, warm_work, clients, "warm");
+    report("warm", warm_n, &warm_lat, warm_wall);
+    let after_warm = counters(&addr);
+
+    let served_hot = (after_warm["cache_hits"] - after_cold["cache_hits"])
+        + (after_warm["coalesced"] - after_cold["coalesced"]);
+    let hit_rate = 100.0 * served_hot as f64 / warm_n as f64;
+    println!(
+        "serve_load/cache: warm_served_hot={served_hot}/{warm_n} ({hit_rate:.1}%) \
+         fresh_total={} speedup_warm_p50={:.1}x",
+        after_warm["fresh"],
+        percentile(&cold_lat, 50.0) / percentile(&warm_lat, 50.0).max(1e-9),
+    );
+
+    handle.shutdown();
+    let summary = handle.join();
+    println!(
+        "serve_load/daemon: received={} fresh={} cache_hits={} coalesced={} shed={} \
+         errors={} cache_entries={}",
+        summary.received,
+        summary.fresh,
+        summary.cache_hits,
+        summary.coalesced,
+        summary.shed,
+        summary.errors,
+        summary.cache_entries
+    );
+    assert!(
+        hit_rate >= 90.0,
+        "warm phase must be >=90% cache-served, got {hit_rate:.1}%"
+    );
+}

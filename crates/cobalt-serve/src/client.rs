@@ -1,0 +1,254 @@
+//! The daemon's client half: connect, send one request line, read one
+//! response line — wrapped in **capped exponential backoff** so a busy
+//! or briefly-absent daemon is an inconvenience, not an error.
+//!
+//! Retry triggers: connection failure (daemon restarting) and typed
+//! `shed` responses (queue full, or draining). The backoff doubles
+//! from [`ClientConfig::backoff_base`] up to
+//! [`ClientConfig::backoff_cap`]; a `shed` response's `retry_after_ms`
+//! hint, when larger, is honored instead — the daemon knows its queue
+//! better than the client's schedule does. Everything else (protocol
+//! errors, I/O mid-exchange, `error` responses) surfaces immediately:
+//! retrying can't fix a malformed exchange, and executed requests must
+//! not be blindly re-sent.
+
+use crate::proto::{ProtoError, Request, Response, Status};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client-side settings.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Daemon address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// How long to wait for the response line before giving up on the
+    /// connection (the server's mirror deadline disconnects us too).
+    pub io_timeout: Duration,
+    /// Retries after the initial attempt (0 = single-shot).
+    pub retries: u32,
+    /// First backoff sleep; doubles each retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            addr: "127.0.0.1:7878".into(),
+            io_timeout: Duration::from_secs(600),
+            retries: 5,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Why a request ultimately failed, after retries.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect within the retry budget.
+    Connect(std::io::Error),
+    /// Connected, but the exchange failed (send, receive, or a
+    /// deadline-closed connection).
+    Io(std::io::Error),
+    /// The response line did not parse.
+    Proto(ProtoError),
+    /// Every attempt was shed; the last shed response is enclosed.
+    Shed(Response),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Io(e) => write!(f, "request I/O failed: {e}"),
+            ClientError::Proto(e) => write!(f, "bad response: {e}"),
+            ClientError::Shed(r) => write!(
+                f,
+                "request shed by the daemon after retries ({})",
+                if r.error.is_empty() { "overloaded" } else { &r.error }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One connect → send → receive exchange, no retries.
+///
+/// # Errors
+///
+/// [`ClientError::Connect`]/[`Io`](ClientError::Io) for socket
+/// trouble, [`Proto`](ClientError::Proto) for an unparseable response.
+/// A `shed` response is a successful *exchange* and returns `Ok` —
+/// retry policy belongs to [`request_with_retry`].
+pub fn request_once(cfg: &ClientConfig, req: &Request) -> Result<Response, ClientError> {
+    let stream = TcpStream::connect(&cfg.addr).map_err(ClientError::Connect)?;
+    stream
+        .set_read_timeout(Some(cfg.io_timeout))
+        .and_then(|()| stream.set_write_timeout(Some(cfg.io_timeout)))
+        .map_err(ClientError::Io)?;
+    let mut writer = stream.try_clone().map_err(ClientError::Io)?;
+    writer
+        .write_all(format!("{}\n", req.encode()).as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(ClientError::Io)?;
+    let mut line = String::new();
+    let n = BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(ClientError::Io)?;
+    if n == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before a response arrived",
+        )));
+    }
+    Response::decode(line.trim_end()).map_err(ClientError::Proto)
+}
+
+/// [`request_once`] under the retry policy described in the
+/// [module docs](self): connect failures and `shed` responses back
+/// off and retry, everything else is final.
+///
+/// # Errors
+///
+/// The final attempt's [`ClientError`]; [`ClientError::Shed`] when the
+/// retry budget ended on a shed response.
+pub fn request_with_retry(cfg: &ClientConfig, req: &Request) -> Result<Response, ClientError> {
+    let mut backoff = cfg.backoff_base;
+    let mut attempt = 0u32;
+    loop {
+        match request_once(cfg, req) {
+            Ok(resp) if resp.status == Status::Shed => {
+                let hinted = Duration::from_millis(resp.retry_after_ms);
+                if attempt >= cfg.retries {
+                    return Err(ClientError::Shed(resp));
+                }
+                // The daemon's hint wins when it asks for more
+                // patience than our schedule would have had.
+                std::thread::sleep(backoff.max(hinted).min(cfg.backoff_cap));
+            }
+            Ok(resp) => return Ok(resp),
+            Err(ClientError::Connect(e)) => {
+                if attempt >= cfg.retries {
+                    return Err(ClientError::Connect(e));
+                }
+                std::thread::sleep(backoff);
+            }
+            // Mid-exchange trouble is final: the request may have
+            // executed, and a blind re-send could run it twice.
+            Err(other) => return Err(other),
+        }
+        attempt += 1;
+        backoff = (backoff * 2).min(cfg.backoff_cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::RequestOp;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+
+    fn ping() -> Request {
+        Request {
+            id: "t".into(),
+            op: RequestOp::Ping,
+        }
+    }
+
+    fn quick() -> ClientConfig {
+        ClientConfig {
+            io_timeout: Duration::from_secs(2),
+            retries: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn connect_failure_retries_then_types_the_error() {
+        // A port from the ephemeral range that nothing listens on: bind
+        // then drop to find one.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let cfg = ClientConfig { addr, ..quick() };
+        let start = std::time::Instant::now();
+        match request_with_retry(&cfg, &ping()) {
+            Err(ClientError::Connect(_)) => {}
+            other => panic!("expected Connect error, got {other:?}"),
+        }
+        // 2 retries × small backoff: fast, but it did sleep.
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn shed_responses_back_off_and_surface_after_budget() {
+        // A hand-rolled one-thread server that always sheds.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for _ in 0..3 {
+                let (mut s, _) = listener.accept().unwrap();
+                let mut line = String::new();
+                let _ = BufReader::new(s.try_clone().unwrap()).read_line(&mut line);
+                let resp = Response::shed("t", 2, "queue full (test)");
+                let _ = s.write_all(format!("{}\n", resp.encode()).as_bytes());
+            }
+        });
+        let cfg = ClientConfig { addr, ..quick() };
+        match request_with_retry(&cfg, &ping()) {
+            Err(ClientError::Shed(r)) => assert_eq!(r.retry_after_ms, 2),
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn eof_and_junk_are_final_errors_not_retries() {
+        // Server closes without answering → UnexpectedEof, no retry
+        // (the listener would block a second accept, so a retry would
+        // hang — finishing fast is the assertion).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            // Consume the request so the close is a clean EOF, not an
+            // RST from unread data.
+            let mut line = String::new();
+            let _ = BufReader::new(&s).read_line(&mut line);
+            drop(s);
+        });
+        let cfg = ClientConfig { addr, ..quick() };
+        match request_with_retry(&cfg, &ping()) {
+            Err(ClientError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected Io(UnexpectedEof), got {other:?}"),
+        }
+        server.join().unwrap();
+
+        // Server answers garbage → Proto error, final.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut line = String::new();
+            let _ = BufReader::new(s.try_clone().unwrap()).read_line(&mut line);
+            let _ = s.write_all(b"not json\n");
+        });
+        let cfg = ClientConfig { addr, ..quick() };
+        match request_with_retry(&cfg, &ping()) {
+            Err(ClientError::Proto(_)) => {}
+            other => panic!("expected Proto, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,52 @@
+//! # cobalt-serve
+//!
+//! Proving-as-a-service: a long-running verification daemon (`cobalt
+//! serve`) and its client (`cobalt client`). The paper's pitch is that
+//! optimization-correctness proofs are cheap enough to run
+//! *automatically, all the time*; at production scale that means a
+//! service, not batch CLI runs — most traffic should be cache hits
+//! served from the shared proof journal in microseconds.
+//!
+//! Everything is hermetic: `std::net::TcpListener`, a hand-rolled
+//! newline-delimited JSON wire protocol ([`proto`], reusing
+//! `cobalt-lint`'s JSON escaping), and the existing
+//! `cobalt-support::journal` as the persistent proof cache. Zero new
+//! dependencies.
+//!
+//! The robustness surface is the point (`DESIGN.md` §14):
+//!
+//! * **Per-connection read/write deadlines** — a stalled or dead client
+//!   is disconnected; it can never wedge a worker or the accept loop.
+//! * **Bounded queue with load shedding** — when the request queue is
+//!   full the daemon answers immediately with a typed `shed` response
+//!   carrying a `retry_after_ms` hint. Never an unbounded backlog,
+//!   never a hang.
+//! * **Single-flight dedup** — two clients proving the same request
+//!   fingerprint cost one prover run; the second is reported `cached`
+//!   (`served:"coalesced"`). Completed fingerprints are served from the
+//!   journal-backed [`cache`] (`served:"cache"`).
+//! * **Graceful drain** — a `shutdown` request or SIGTERM/SIGINT stops
+//!   accepting, finishes (or budget-cancels, after the drain deadline)
+//!   in-flight requests, compacts the journal, and exits 0.
+//! * **Crash safety** — cache writes are append+fsync per response, so
+//!   killing the daemon mid-request loses at most the in-flight work; a
+//!   restart resumes warm. Journal trouble degrades to uncached
+//!   service with a note — it never changes a verdict.
+//! * **Fault points** — `serve.accept`, `serve.read`, `serve.write`,
+//!   and `serve.cache` exercise each degradation path deterministically
+//!   via `COBALT_FAULTS`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod exec;
+pub mod proto;
+pub mod server;
+mod sig;
+
+pub use cache::ProofCache;
+pub use client::{request_with_retry, ClientConfig, ClientError};
+pub use proto::{Request, RequestOp, Response, ServedFrom, Status, PROTOCOL_VERSION};
+pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};

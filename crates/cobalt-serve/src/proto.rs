@@ -1,0 +1,720 @@
+//! The wire protocol: newline-delimited JSON, hand-rolled and total.
+//!
+//! One request per line, one response per line, UTF-8, no framing
+//! beyond `\n` (the JSON escapes guarantee a payload can never contain
+//! a raw newline). Requests and responses are *flat* JSON objects —
+//! string, integer, boolean, and null values only — which keeps the
+//! parser small enough to be obviously total: malformed input yields a
+//! typed parse error, never a panic and never a partial read.
+//!
+//! Encoding reuses [`cobalt_lint::json_escape`] so JSON escaping rules
+//! cannot drift between the lint reports, the engine reports, and the
+//! wire (the workspace-wide single-emitter rule).
+//!
+//! # Requests
+//!
+//! ```json
+//! {"v":1,"op":"verify","id":"r1","suite":"forward my_rule { ... }","include_buggy":false}
+//! {"v":1,"op":"optimize","id":"r2","program":"proc main(x) { ... }","passes":"all","rounds":4}
+//! {"v":1,"op":"ping","id":"r3"}
+//! {"v":1,"op":"stats","id":"r4"}
+//! {"v":1,"op":"shutdown","id":"r5"}
+//! ```
+//!
+//! `suite` absent on a `verify` means the built-in registry. `id` is an
+//! opaque client-chosen correlation token, echoed back verbatim.
+//!
+//! # Responses
+//!
+//! ```json
+//! {"v":1,"id":"r1","status":"ok","exit":0,"verdict":"proved","served":"fresh","cached":false,"output":"..."}
+//! {"v":1,"id":"r1","status":"shed","retry_after_ms":120}
+//! {"v":1,"id":"r1","status":"error","error":"..."}
+//! {"v":1,"id":"r5","status":"bye"}
+//! ```
+//!
+//! `exit` mirrors the one-shot CLI's exit-code contract (0 proved /
+//! ok, 2 unsound, 3 resource-limited, 1 other). `served` says how the
+//! daemon produced the result: `fresh` (a prover run), `cache` (the
+//! journal-backed proof cache), or `coalesced` (single-flight dedup
+//! onto a concurrent identical request); `cached` is true for the
+//! latter two. A `note` field carries degradation notices (e.g. the
+//! proof cache being disabled after journal trouble) — notes never
+//! change `output`, `exit`, or `verdict`.
+//!
+//! Unknown fields are ignored (forward compatibility); an unknown `v`
+//! is rejected with a typed error, never half-interpreted.
+
+use cobalt_lint::json_escape;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The protocol version spoken by this build. Bump on any
+/// incompatible change to the request or response shapes.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// A flat JSON value: all the wire protocol needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// A JSON integer (the protocol uses no fractional numbers).
+    Int(i64),
+    /// A JSON boolean.
+    Bool(bool),
+    /// JSON null.
+    Null,
+}
+
+/// A typed protocol error: what was wrong with a line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ProtoError> {
+    Err(ProtoError(msg.into()))
+}
+
+/// Parses one flat JSON object line into its fields. Total: any input
+/// (including non-UTF-8-shaped escapes, truncation, nesting) yields
+/// `Ok` or a typed error, never a panic. Nested objects and arrays are
+/// rejected — the protocol is flat by design.
+pub fn parse_object(line: &str) -> Result<BTreeMap<String, Value>, ProtoError> {
+    let mut p = Parser {
+        chars: line.trim().chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    if !p.eat('{') {
+        return err("expected `{`");
+    }
+    let mut out = BTreeMap::new();
+    p.skip_ws();
+    if p.eat('}') {
+        p.skip_ws();
+        return if p.at_end() {
+            Ok(out)
+        } else {
+            err("trailing bytes after object")
+        };
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        if !p.eat(':') {
+            return err(format!("expected `:` after key `{key}`"));
+        }
+        p.skip_ws();
+        let value = p.value()?;
+        out.insert(key, value);
+        p.skip_ws();
+        if p.eat(',') {
+            continue;
+        }
+        if p.eat('}') {
+            break;
+        }
+        return err("expected `,` or `}`");
+    }
+    p.skip_ws();
+    if p.at_end() {
+        Ok(out)
+    } else {
+        err("trailing bytes after object")
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ProtoError> {
+        match self.peek() {
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some('{' | '[') => err("nested objects/arrays are not part of the protocol"),
+            Some(c) => err(format!("unexpected `{c}`")),
+            None => err("unexpected end of line"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ProtoError> {
+        for c in word.chars() {
+            if !self.eat(c) {
+                return err(format!("bad literal (expected `{word}`)"));
+            }
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ProtoError> {
+        let start = self.pos;
+        if self.eat('-') {}
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some('.' | 'e' | 'E')) {
+            return err("fractional numbers are not part of the protocol");
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        match text.parse::<i64>() {
+            Ok(n) => Ok(Value::Int(n)),
+            Err(e) => err(format!("bad integer `{text}`: {e}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        if !self.eat('"') {
+            return err("expected a string");
+        }
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return err("unterminated string");
+            };
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(esc) = self.peek() else {
+                        return err("dangling escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let Some(h) = self.peek().and_then(|c| c.to_digit(16)) else {
+                                    return err("bad \\u escape");
+                                };
+                                self.pos += 1;
+                                code = code * 16 + h;
+                            }
+                            // Surrogates are not produced by our
+                            // emitter; map them to the replacement
+                            // character rather than erroring so the
+                            // decoder stays total on foreign input.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return err(format!("unknown escape `\\{other}`")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+}
+
+/// What a request asks the daemon to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOp {
+    /// Prove a suite (or, with `suite: None`, the built-in registry).
+    Verify {
+        /// Cobalt DSL suite source, or `None` for the built-in
+        /// registry.
+        suite: Option<String>,
+        /// Also verify the built-in buggy variants (they must be
+        /// *rejected*; an unexpectedly-proved buggy rule is unsound).
+        include_buggy: bool,
+    },
+    /// Optimize an IL program with the machine-verified suite.
+    Optimize {
+        /// IL program source.
+        program: String,
+        /// Comma-separated pass names, or `all`.
+        passes: String,
+        /// Pipeline rounds.
+        rounds: u32,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Daemon counters (requests, cache hits, sheds, …).
+    Stats,
+    /// Begin graceful drain: stop accepting, finish in-flight work,
+    /// compact the cache, exit 0.
+    Shutdown,
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed back verbatim.
+    pub id: String,
+    /// The operation.
+    pub op: RequestOp,
+}
+
+impl Request {
+    /// Encodes the request as its wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut s = format!("{{\"v\":{PROTOCOL_VERSION}");
+        s.push_str(&format!(",\"id\":\"{}\"", json_escape(&self.id)));
+        match &self.op {
+            RequestOp::Verify {
+                suite,
+                include_buggy,
+            } => {
+                s.push_str(",\"op\":\"verify\"");
+                if let Some(src) = suite {
+                    s.push_str(&format!(",\"suite\":\"{}\"", json_escape(src)));
+                }
+                if *include_buggy {
+                    s.push_str(",\"include_buggy\":true");
+                }
+            }
+            RequestOp::Optimize {
+                program,
+                passes,
+                rounds,
+            } => {
+                s.push_str(&format!(
+                    ",\"op\":\"optimize\",\"program\":\"{}\",\"passes\":\"{}\",\"rounds\":{rounds}",
+                    json_escape(program),
+                    json_escape(passes),
+                ));
+            }
+            RequestOp::Ping => s.push_str(",\"op\":\"ping\""),
+            RequestOp::Stats => s.push_str(",\"op\":\"stats\""),
+            RequestOp::Shutdown => s.push_str(",\"op\":\"shutdown\""),
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes one wire line. Typed errors for malformed JSON, an
+    /// unsupported version, a missing/unknown `op`, or missing
+    /// operands; unknown fields are ignored.
+    pub fn decode(line: &str) -> Result<Request, ProtoError> {
+        let fields = parse_object(line)?;
+        match fields.get("v") {
+            None | Some(Value::Int(PROTOCOL_VERSION)) => {}
+            Some(Value::Int(v)) => {
+                return err(format!(
+                    "unsupported protocol version {v} (this daemon speaks {PROTOCOL_VERSION})"
+                ))
+            }
+            Some(_) => return err("`v` must be an integer"),
+        }
+        let id = match fields.get("id") {
+            Some(Value::Str(s)) => s.clone(),
+            None => String::new(),
+            Some(_) => return err("`id` must be a string"),
+        };
+        let str_field = |name: &str| -> Result<Option<String>, ProtoError> {
+            match fields.get(name) {
+                None | Some(Value::Null) => Ok(None),
+                Some(Value::Str(s)) => Ok(Some(s.clone())),
+                Some(_) => err(format!("`{name}` must be a string")),
+            }
+        };
+        let op = match fields.get("op") {
+            Some(Value::Str(op)) => op.as_str(),
+            _ => return err("missing `op`"),
+        };
+        let op = match op {
+            "verify" => RequestOp::Verify {
+                suite: str_field("suite")?,
+                include_buggy: matches!(fields.get("include_buggy"), Some(Value::Bool(true))),
+            },
+            "optimize" => RequestOp::Optimize {
+                program: str_field("program")?
+                    .ok_or_else(|| ProtoError("optimize requires `program`".into()))?,
+                passes: str_field("passes")?.unwrap_or_else(|| "all".into()),
+                rounds: match fields.get("rounds") {
+                    None => 4,
+                    Some(Value::Int(n)) if (0..=64).contains(n) => *n as u32,
+                    Some(Value::Int(n)) => {
+                        return err(format!("`rounds` out of range: {n} (want 0..=64)"))
+                    }
+                    Some(_) => return err("`rounds` must be an integer"),
+                },
+            },
+            "ping" => RequestOp::Ping,
+            "stats" => RequestOp::Stats,
+            "shutdown" => RequestOp::Shutdown,
+            other => return err(format!("unknown op `{other}`")),
+        };
+        Ok(Request { id, op })
+    }
+}
+
+/// Response status discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The request was executed; see `exit`/`verdict`/`output`.
+    Ok,
+    /// The queue was full (or the daemon is draining): retry later.
+    Shed,
+    /// The request could not be executed at all.
+    Error,
+    /// Acknowledgement of `shutdown`: the daemon is draining.
+    Bye,
+}
+
+impl Status {
+    fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Shed => "shed",
+            Status::Error => "error",
+            Status::Bye => "bye",
+        }
+    }
+}
+
+/// How the daemon produced an `ok` result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// A prover/engine run happened for this request.
+    Fresh,
+    /// Replayed from the journal-backed proof cache.
+    Cache,
+    /// Coalesced onto a concurrent identical request (single-flight
+    /// dedup): exactly one prover run happened for the whole group.
+    Coalesced,
+}
+
+impl ServedFrom {
+    fn as_str(self) -> &'static str {
+        match self {
+            ServedFrom::Fresh => "fresh",
+            ServedFrom::Cache => "cache",
+            ServedFrom::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request's correlation id.
+    pub id: String,
+    /// The status discriminant.
+    pub status: Status,
+    /// CLI-compatible exit code for `ok` responses.
+    pub exit: u8,
+    /// Human verdict: `proved`, `unsound`, `resource-limited`, `ok`,
+    /// `error`, … Empty for non-`ok` statuses.
+    pub verdict: String,
+    /// How the result was produced (meaningful for `ok`).
+    pub served: ServedFrom,
+    /// The report text a one-shot CLI run would have printed.
+    pub output: String,
+    /// Error description for `error` responses.
+    pub error: String,
+    /// Backoff hint for `shed` responses, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Degradation note (e.g. proof cache disabled); never affects
+    /// `exit`, `verdict`, or `output`.
+    pub note: String,
+}
+
+impl Response {
+    /// A successful execution result.
+    pub fn ok(id: &str, exit: u8, verdict: &str, served: ServedFrom, output: String) -> Response {
+        Response {
+            id: id.to_string(),
+            status: Status::Ok,
+            exit,
+            verdict: verdict.to_string(),
+            served,
+            output,
+            error: String::new(),
+            retry_after_ms: 0,
+            note: String::new(),
+        }
+    }
+
+    /// A typed refusal (bad request, internal failure).
+    pub fn error(id: &str, error: impl Into<String>) -> Response {
+        Response {
+            id: id.to_string(),
+            status: Status::Error,
+            exit: 1,
+            verdict: String::new(),
+            served: ServedFrom::Fresh,
+            output: String::new(),
+            error: error.into(),
+            retry_after_ms: 0,
+            note: String::new(),
+        }
+    }
+
+    /// A load-shed refusal with a retry hint.
+    pub fn shed(id: &str, retry_after_ms: u64, reason: impl Into<String>) -> Response {
+        Response {
+            id: id.to_string(),
+            status: Status::Shed,
+            exit: 1,
+            verdict: String::new(),
+            served: ServedFrom::Fresh,
+            output: String::new(),
+            error: reason.into(),
+            retry_after_ms,
+            note: String::new(),
+        }
+    }
+
+    /// The `shutdown` acknowledgement.
+    pub fn bye(id: &str) -> Response {
+        Response {
+            id: id.to_string(),
+            status: Status::Bye,
+            exit: 0,
+            verdict: String::new(),
+            served: ServedFrom::Fresh,
+            output: String::new(),
+            error: String::new(),
+            retry_after_ms: 0,
+            note: String::new(),
+        }
+    }
+
+    /// Whether the result came from the cache or a coalesced sibling.
+    pub fn cached(&self) -> bool {
+        matches!(self.served, ServedFrom::Cache | ServedFrom::Coalesced)
+    }
+
+    /// Encodes the response as its wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut s = format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"id\":\"{}\",\"status\":\"{}\"",
+            json_escape(&self.id),
+            self.status.as_str(),
+        );
+        match self.status {
+            Status::Ok => {
+                s.push_str(&format!(
+                    ",\"exit\":{},\"verdict\":\"{}\",\"served\":\"{}\",\"cached\":{},\"output\":\"{}\"",
+                    self.exit,
+                    json_escape(&self.verdict),
+                    self.served.as_str(),
+                    self.cached(),
+                    json_escape(&self.output),
+                ));
+            }
+            Status::Shed => {
+                s.push_str(&format!(
+                    ",\"retry_after_ms\":{},\"error\":\"{}\"",
+                    self.retry_after_ms,
+                    json_escape(&self.error),
+                ));
+            }
+            Status::Error => {
+                s.push_str(&format!(",\"error\":\"{}\"", json_escape(&self.error)));
+            }
+            Status::Bye => {}
+        }
+        if !self.note.is_empty() {
+            s.push_str(&format!(",\"note\":\"{}\"", json_escape(&self.note)));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Decodes one wire line. Total; typed errors, never a panic.
+    pub fn decode(line: &str) -> Result<Response, ProtoError> {
+        let fields = parse_object(line)?;
+        let get_str = |name: &str| -> String {
+            match fields.get(name) {
+                Some(Value::Str(s)) => s.clone(),
+                _ => String::new(),
+            }
+        };
+        let get_int = |name: &str| -> i64 {
+            match fields.get(name) {
+                Some(Value::Int(n)) => *n,
+                _ => 0,
+            }
+        };
+        let status = match get_str("status").as_str() {
+            "ok" => Status::Ok,
+            "shed" => Status::Shed,
+            "error" => Status::Error,
+            "bye" => Status::Bye,
+            other => return err(format!("unknown status `{other}`")),
+        };
+        let served = match get_str("served").as_str() {
+            "cache" => ServedFrom::Cache,
+            "coalesced" => ServedFrom::Coalesced,
+            _ => ServedFrom::Fresh,
+        };
+        Ok(Response {
+            id: get_str("id"),
+            status,
+            exit: get_int("exit").clamp(0, 255) as u8,
+            verdict: get_str("verdict"),
+            served,
+            output: get_str("output"),
+            error: get_str("error"),
+            retry_after_ms: get_int("retry_after_ms").max(0) as u64,
+            note: get_str("note"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_every_op() {
+        let ops = vec![
+            RequestOp::Verify {
+                suite: Some("forward r { a\n\tb \"q\" \\ }".into()),
+                include_buggy: true,
+            },
+            RequestOp::Verify {
+                suite: None,
+                include_buggy: false,
+            },
+            RequestOp::Optimize {
+                program: "proc main(x) { return x; }".into(),
+                passes: "const_prop,dae".into(),
+                rounds: 2,
+            },
+            RequestOp::Ping,
+            RequestOp::Stats,
+            RequestOp::Shutdown,
+        ];
+        for op in ops {
+            let req = Request {
+                id: "id-\"weird\"\n".into(),
+                op,
+            };
+            let line = req.encode();
+            assert!(!line.contains('\n'), "wire lines must be newline-free: {line}");
+            assert_eq!(Request::decode(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_and_classifies() {
+        let cases = vec![
+            Response::ok("a", 0, "proved", ServedFrom::Fresh, "all good\n".into()),
+            Response::ok("b", 2, "unsound", ServedFrom::Cache, "FAILED x\n".into()),
+            {
+                let mut r = Response::ok("c", 3, "resource-limited", ServedFrom::Coalesced, "".into());
+                r.note = "proof cache disabled (io)".into();
+                r
+            },
+            Response::shed("d", 120, "queue full (8/8)"),
+            Response::error("e", "parse error: bad `op`"),
+            Response::bye("f"),
+        ];
+        for resp in cases {
+            let line = resp.encode();
+            assert!(!line.contains('\n'), "{line}");
+            let back = Response::decode(&line).unwrap();
+            assert_eq!(back.id, resp.id);
+            assert_eq!(back.status, resp.status);
+            assert_eq!(back.output, resp.output);
+            assert_eq!(back.retry_after_ms, resp.retry_after_ms);
+            assert_eq!(back.note, resp.note);
+            assert_eq!(back.cached(), resp.cached());
+        }
+    }
+
+    #[test]
+    fn parser_is_total_on_junk() {
+        for junk in [
+            "",
+            "{",
+            "}",
+            "nope",
+            "{\"a\":}",
+            "{\"a\":1e9}",
+            "{\"a\":1.5}",
+            "{\"a\":[1]}",
+            "{\"a\":{\"b\":1}}",
+            "{\"a\":\"unterminated",
+            "{\"a\":\"bad\\q\"}",
+            "{\"a\":\"bad\\u12\"}",
+            "{\"a\":1}trailing",
+            "{\"a\":99999999999999999999999}",
+            "\u{0}\u{1}\u{2}",
+        ] {
+            assert!(parse_object(junk).is_err(), "accepted junk: {junk:?}");
+            assert!(Request::decode(junk).is_err());
+            assert!(Response::decode(junk).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_fields_and_unicode_escapes_are_tolerated() {
+        let fields =
+            parse_object("{\"op\":\"ping\",\"future\":\"x\",\"n\":-3,\"u\":\"\\u0041\\u00e9\"}")
+                .unwrap();
+        assert_eq!(fields.get("n"), Some(&Value::Int(-3)));
+        assert_eq!(fields.get("u"), Some(&Value::Str("Aé".into())));
+        let req = Request::decode("{\"v\":1,\"op\":\"ping\",\"someday\":true}").unwrap();
+        assert_eq!(req.op, RequestOp::Ping);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
+        let e = Request::decode("{\"v\":2,\"op\":\"ping\"}").unwrap_err();
+        assert!(e.to_string().contains("unsupported protocol version"), "{e}");
+        // Absent version = current version (bootstrapping clients).
+        assert!(Request::decode("{\"op\":\"ping\"}").is_ok());
+    }
+
+    #[test]
+    fn optimize_requires_program_and_bounds_rounds() {
+        assert!(Request::decode("{\"op\":\"optimize\"}").is_err());
+        assert!(Request::decode("{\"op\":\"optimize\",\"program\":\"p\",\"rounds\":65}").is_err());
+        let r = Request::decode("{\"op\":\"optimize\",\"program\":\"p\"}").unwrap();
+        assert_eq!(
+            r.op,
+            RequestOp::Optimize {
+                program: "p".into(),
+                passes: "all".into(),
+                rounds: 4
+            }
+        );
+    }
+}

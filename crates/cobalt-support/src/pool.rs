@@ -317,6 +317,26 @@ mod tests {
         }
     }
 
+    /// Regression test for the worker clamp: an oversized `--jobs`
+    /// (e.g. `--jobs auto` on a big host, or an operator typo) must
+    /// never spawn more workers than there are tasks — the clamp is
+    /// what makes `auto` safe to pass blindly.
+    #[test]
+    fn oversized_jobs_clamp_to_task_count() {
+        for (jobs, n) in [(1000, 3), (64, 1), (8, 0), (2, 2)] {
+            let tasks: Vec<u64> = (0..n as u64).collect();
+            let mut results = Vec::new();
+            let stats = run_ordered(jobs, tasks, &Cancel::new(), |_, t, _| *t, collect(&mut results));
+            assert_eq!(stats.workers_requested, jobs.min(n), "jobs={jobs} n={n}");
+            assert!(
+                stats.workers_spawned <= jobs.min(n),
+                "jobs={jobs} n={n}: spawned {} workers for {n} task(s)",
+                stats.workers_spawned
+            );
+            assert_eq!(results.len(), n, "jobs={jobs}");
+        }
+    }
+
     #[test]
     fn panicking_task_is_retried_once_then_surfaced() {
         // Panics on every execution: retried once, then surfaced.

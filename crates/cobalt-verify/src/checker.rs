@@ -178,18 +178,39 @@ impl Report {
     /// `const_prop: 34/34 obligations proved (30 cached, 4 fresh) in 4ms`,
     /// so warm runs are observable in plain output.
     pub fn summary(&self) -> String {
+        format!(
+            "{} in {:.1?}",
+            self.render(/* cache_note: */ true),
+            self.elapsed
+        )
+    }
+
+    /// [`summary`](Self::summary) without the trailing elapsed time —
+    /// a deterministic rendering, stable across runs, worker counts,
+    /// and cache hits. `cobalt serve` builds response payloads from
+    /// this so identical requests get byte-identical responses.
+    ///
+    /// Deliberately also without the cache split: whether an
+    /// obligation was replayed is a property of the run, not of the
+    /// proof, and the daemon reports it out-of-band (`served`/
+    /// `cached` response fields) instead of inside the payload.
+    pub fn summary_stable(&self) -> String {
+        self.render(/* cache_note: */ false)
+    }
+
+    fn render(&self, with_cache_note: bool) -> String {
         let proved = self.outcomes.iter().filter(|o| o.proved).count();
         let total = self.outcomes.len();
         let cached = self.cached_count();
-        let cache_note = if cached > 0 {
+        let cache_note = if with_cache_note && cached > 0 {
             format!(" ({cached} cached, {} fresh)", total - cached)
         } else {
             String::new()
         };
         if proved == total {
             return format!(
-                "{}: {}/{} obligations proved{} in {:.1?}",
-                self.name, proved, total, cache_note, self.elapsed
+                "{}: {}/{} obligations proved{}",
+                self.name, proved, total, cache_note
             );
         }
         const MAX_NAMED: usize = 6;
@@ -202,7 +223,7 @@ impl Report {
             String::new()
         };
         format!(
-            "{}: {}/{} obligations proved{} (failed: {}{}) in {:.1?}",
+            "{}: {}/{} obligations proved{} (failed: {}{})",
             self.name,
             proved,
             total,
@@ -212,7 +233,6 @@ impl Report {
                 named.join(", ")
             },
             suffix,
-            self.elapsed
         )
     }
 }
@@ -235,6 +255,7 @@ pub struct Verifier {
     pub(crate) policy: RetryPolicy,
     pub(crate) jobs: usize,
     pub(crate) bank_mode: BankMode,
+    pub(crate) cancel: Option<Cancel>,
 }
 
 impl Verifier {
@@ -248,6 +269,7 @@ impl Verifier {
             policy: RetryPolicy::default(),
             jobs: 1,
             bank_mode: BankMode::default(),
+            cancel: None,
         }
     }
 
@@ -277,6 +299,19 @@ impl Verifier {
     /// The configured worker count (≥ 1).
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Installs an external cancellation token: trip it from any
+    /// thread and in-flight discharges stop at their next budget check,
+    /// reporting as **resource-limited** (never proved, never unsound)
+    /// — exactly how a `cobalt serve` drain deadline budget-cancels
+    /// in-flight requests. In parallel mode the token doubles as the
+    /// pool's fail-fast flag, so an unsound obligation also trips it;
+    /// callers sharing one token across independent batches should
+    /// hand each batch its own.
+    pub fn with_cancel(mut self, cancel: Cancel) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// Overrides how obligation batches own their term banks. The
@@ -439,8 +474,12 @@ impl Verifier {
     ) -> Vec<ObligationOutcome> {
         if self.jobs <= 1 || items.len() <= 1 {
             let mut outcomes = Vec::with_capacity(items.len());
-            for (idx, (p, start_tier)) in items.into_iter().enumerate() {
-                let outcome = self.discharge_from(p, report_deadline, start_tier, None);
+            for (idx, (mut p, start_tier)) in items.into_iter().enumerate() {
+                if let Some(cancel) = &self.cancel {
+                    p.solver.install_cancel(cancel.flag());
+                }
+                let outcome =
+                    self.discharge_from(p, report_deadline, start_tier, self.cancel.as_ref());
                 sink(idx, &outcome);
                 outcomes.push(outcome);
             }
@@ -453,7 +492,10 @@ impl Verifier {
             .into_iter()
             .map(|(p, tier)| (Some(p), tier))
             .collect();
-        let cancel = Cancel::new();
+        // The pool's fail-fast flag; an externally installed token is
+        // reused so a caller-side trip (e.g. a daemon drain deadline)
+        // stands the whole batch down.
+        let cancel = self.cancel.clone().unwrap_or_default();
         let mut outcomes: Vec<ObligationOutcome> = Vec::with_capacity(slots.len());
         pool::run_ordered(
             self.jobs,
@@ -537,7 +579,8 @@ impl Verifier {
             if cancel.is_some_and(Cancel::is_tripped) {
                 return done(
                     false,
-                    "cancelled by caller: a parallel sibling reported an unsound obligation"
+                    "cancelled by caller: a parallel sibling reported unsound, or the caller \
+                     withdrew the batch"
                         .to_string(),
                     true,
                     attempts,

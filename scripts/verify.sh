@@ -317,6 +317,122 @@ if ! grep -q "journaling disabled" <<<"$out"; then
     echo "engine: journal-fault optimize did not report degradation:"; echo "$out"; exit 1
 fi
 
+echo "== serve stage (daemon, shared cache, drain)"
+
+# A daemon with a proof-cache journal, hammered by concurrent clients:
+# every client must exit 0, the daemon payload must be byte-identical
+# to the one-shot CLI (normalized for wall-clock), and a warm replay
+# must be byte-identical to the cold serve.
+serve_port=$(mktemp -u /tmp/cobalt_serve_port_XXXXXX)
+serve_journal=$(mktemp -u /tmp/cobalt_serve_journal_XXXXXX.cobj)
+"$COBALT" serve --port-file "$serve_port" --journal "$serve_journal" --jobs 2 \
+    >/tmp/cobalt_serve_log.$$ 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 200); do [[ -s "$serve_port" ]] && break; sleep 0.05; done
+if [[ ! -s "$serve_port" ]]; then
+    echo "serve: daemon never wrote its port file"; cat /tmp/cobalt_serve_log.$$; exit 1
+fi
+"$COBALT" client verify --port-file "$serve_port" >/tmp/cobalt_serve_a.$$ 2>&1 &
+pid_a=$!
+"$COBALT" client verify --port-file "$serve_port" >/tmp/cobalt_serve_b.$$ 2>&1 &
+pid_b=$!
+set +e
+wait "$pid_a"; code_a=$?
+wait "$pid_b"; code_b=$?
+set -e
+if [[ $code_a -ne 0 || $code_b -ne 0 ]]; then
+    echo "serve: concurrent clients exited $code_a/$code_b (want 0/0)"
+    cat /tmp/cobalt_serve_a.$$ /tmp/cobalt_serve_b.$$; exit 1
+fi
+if [[ "$(cat /tmp/cobalt_serve_a.$$)" != "$seq_out" ]]; then
+    echo "serve: daemon payload diverged from one-shot CLI verify:"
+    diff <(echo "$seq_out") /tmp/cobalt_serve_a.$$ || true
+    exit 1
+fi
+warm_serve=$("$COBALT" client verify --port-file "$serve_port" 2>&1)
+if [[ "$warm_serve" != "$(cat /tmp/cobalt_serve_a.$$)" ]]; then
+    echo "serve: warm cache replay diverged from the cold serve"
+    diff /tmp/cobalt_serve_a.$$ <(echo "$warm_serve") || true
+    exit 1
+fi
+rm -f /tmp/cobalt_serve_a.$$ /tmp/cobalt_serve_b.$$
+
+# Graceful drain: an in-band shutdown must report the drain and the
+# daemon process must exit 0 with a compacted journal left behind.
+out=$("$COBALT" client shutdown --port-file "$serve_port" 2>&1)
+if ! grep -q "draining" <<<"$out"; then
+    echo "serve: shutdown did not report draining: $out"; exit 1
+fi
+set +e
+wait "$serve_pid"; code=$?
+set -e
+if [[ $code -ne 0 ]]; then
+    echo "serve: drained daemon exited $code (want 0):"; cat /tmp/cobalt_serve_log.$$; exit 1
+fi
+if [[ ! -s "$serve_journal" ]]; then
+    echo "serve: drained daemon left no proof-cache journal"; exit 1
+fi
+rm -f "$serve_port" "$serve_journal" /tmp/cobalt_serve_log.$$
+
+# Overload smoke: a one-slot queue behind a deliberately slow prover
+# must answer the overflow client with a typed shed (exit 3 after
+# retries), never a hang or a protocol error.
+rm -f "$serve_port"
+COBALT_FAULTS=checker.obligation:delay_ms@10 \
+    "$COBALT" serve --port-file "$serve_port" --queue 1 --jobs 1 \
+    >/tmp/cobalt_serve_log.$$ 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 200); do [[ -s "$serve_port" ]] && break; sleep 0.05; done
+"$COBALT" client verify --port-file "$serve_port" >/dev/null 2>&1 &
+pid_a=$!
+"$COBALT" client verify --port-file "$serve_port" >/dev/null 2>&1 &
+pid_b=$!
+sleep 0.4
+set +e
+out=$("$COBALT" client verify --port-file "$serve_port" --retries 0 2>&1)
+code=$?
+set -e
+if [[ $code -ne 3 ]]; then
+    echo "serve: overflow client exited $code (want 3, shed): $out"; exit 1
+fi
+set +e
+wait "$pid_a"; wait "$pid_b"
+set -e
+"$COBALT" client shutdown --port-file "$serve_port" >/dev/null 2>&1
+set +e
+wait "$serve_pid"; code=$?
+set -e
+if [[ $code -ne 0 ]]; then
+    echo "serve: overloaded daemon drained with exit $code (want 0)"; exit 1
+fi
+rm -f "$serve_port" /tmp/cobalt_serve_log.$$
+
+# Cache-fault smoke: a broken proof-cache journal must degrade to
+# uncached service (verdicts unchanged, exit 0) with a visible note —
+# never change an answer.
+rm -f "$serve_port"
+serve_journal=$(mktemp -u /tmp/cobalt_serve_journal_XXXXXX.cobj)
+COBALT_FAULTS=serve.cache:fail@1 \
+    "$COBALT" serve --port-file "$serve_port" --journal "$serve_journal" \
+    >/tmp/cobalt_serve_log.$$ 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 200); do [[ -s "$serve_port" ]] && break; sleep 0.05; done
+set +e
+out=$("$COBALT" client verify --port-file "$serve_port" 2>&1)
+code=$?
+set -e
+if [[ $code -ne 0 ]]; then
+    echo "serve: cache-fault verify exited $code (want 0):"; echo "$out"; exit 1
+fi
+if ! grep -q "degraded" <<<"$out"; then
+    echo "serve: cache-fault daemon did not report degradation:"; echo "$out"; exit 1
+fi
+"$COBALT" client shutdown --port-file "$serve_port" >/dev/null 2>&1
+set +e
+wait "$serve_pid"
+set -e
+rm -f "$serve_port" "$serve_journal" /tmp/cobalt_serve_log.$$
+
 echo "== perf stage (prover_speed trajectory)"
 
 # The raw-speed trajectory datapoint (ISSUE 6, BENCH_*.json): run the
@@ -341,7 +457,7 @@ grep 'registry_' "$bench_json" | sed 's/^/  /'
 rm -f "$bench_json"
 
 if [[ "${1:-}" == "--benches" ]]; then
-    for bench in proof_times engine_scaling tv_vs_proof prover_ablation prover_speed; do
+    for bench in proof_times engine_scaling tv_vs_proof prover_ablation prover_speed serve_load; do
         echo "== cargo bench --bench ${bench} (fast mode)"
         COBALT_BENCH_FAST=1 cargo bench --offline -p cobalt-bench --bench "${bench}"
     done

@@ -11,6 +11,12 @@
 //! cobalt lint [<file.il|file.cob>…] [--json] [--deny warn]
 //! cobalt validate <orig.il> <new.il>
 //! cobalt hunt <name|suite.cob> [--tries N]
+//! cobalt serve [--addr A] [--port-file P] [--queue N] [--jobs N|auto]
+//!              [--timeout SECS] [--max-steps N] [--journal PATH [--resume|--fresh]]
+//!              [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
+//! cobalt client <verify [suite.cob]|optimize <prog.il>|ping|stats|shutdown>
+//!               [--addr A|--port-file P] [--retries N] [--include-buggy]
+//!               [--passes a,b|all] [--rounds N]
 //! ```
 //!
 //! `verify` exit codes: 0 all proved; 2 an obligation genuinely failed
@@ -27,7 +33,12 @@
 use cobalt::dsl::{LabelEnv, Optimization, PureAnalysis};
 use cobalt::engine::{Budget, Engine, EngineError, OptimizeSession};
 use cobalt::il::{parse_program, pretty_program, Interp};
+use cobalt::serve::exec::ExecConfig;
+use cobalt::serve::{
+    request_with_retry, ClientConfig, ClientError, Request, RequestOp, ServeConfig, Server, Status,
+};
 use cobalt::verify::{ResumeMode, RetryPolicy, SemanticMeanings, Session, Verifier};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -129,6 +140,31 @@ const USAGE: &str = "usage:
   cobalt hunt <name|suite.cob> [--tries N]
       search for a counterexample program for a (presumably unsound)
       optimization; `name` may be `buggy` for the built-in §6 variant
+  cobalt serve [--addr A] [--port-file P] [--queue N] [--jobs N|auto]
+               [--timeout SECS] [--max-steps N]
+               [--journal PATH [--resume|--fresh]]
+               [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
+      run the verification daemon: newline-delimited JSON requests over
+      TCP, multiplexed onto --jobs pool workers. Identical requests
+      share one prover run (single-flight) and later repeats replay
+      from the --journal proof cache. A full --queue (default 64) sheds
+      with a typed `shed` response and a retry hint instead of queueing
+      unboundedly; slow clients are disconnected after the read/write
+      deadlines. SIGTERM/SIGINT or an in-band `shutdown` request drains
+      gracefully: stop accepting, finish or budget-cancel in-flight
+      work, compact the journal, exit 0. --addr defaults to
+      127.0.0.1:0 (ephemeral); --port-file writes the bound address for
+      scripts. --timeout/--max-steps bound each request exactly as the
+      one-shot commands do
+  cobalt client <verify [suite.cob]|optimize <prog.il>|ping|stats|shutdown>
+                [--addr A|--port-file P] [--retries N] [--include-buggy]
+                [--passes a,b|all] [--rounds N]
+      send one request to a running daemon and print its output.
+      Connection failures and shed responses retry with capped
+      exponential backoff (--retries, default 5), honoring the daemon's
+      retry_after_ms hint. exit codes mirror the one-shot commands:
+      0 ok/proved, 2 unsound, 3 resource-limited or shed after
+      retries, 1 other errors
 ";
 
 /// Entry point, factored for testing.
@@ -142,6 +178,8 @@ fn run_cli(args: &[String]) -> Result<String, CliError> {
         Some("lint") => cmd_lint(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]).map_err(CliError::general),
         Some("hunt") => cmd_hunt(&args[1..]).map_err(CliError::general),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CliError::general(format!(
             "unknown command `{other}`\n{USAGE}"
@@ -172,7 +210,9 @@ fn positional(args: &[String]) -> Vec<&str> {
             skip = matches!(
                 a.as_str(),
                 "--arg" | "--passes" | "--rounds" | "--tries" | "--timeout" | "--max-splits"
-                    | "--max-steps" | "--jobs" | "--deny" | "--journal"
+                    | "--max-steps" | "--jobs" | "--deny" | "--journal" | "--addr"
+                    | "--port-file" | "--queue" | "--retries" | "--read-timeout-ms"
+                    | "--write-timeout-ms" | "--drain-ms"
             ) && i + 1 < args.len();
             continue;
         }
@@ -236,23 +276,75 @@ fn suite_by_names(names: &str) -> Result<Vec<Optimization>, String> {
         .collect()
 }
 
-/// Builds the engine [`Budget`] for `optimize` from `--timeout`
-/// (wall-clock for the whole run, fractions allowed) and `--max-steps`
-/// (fixpoint step cap per procedure).
-fn optimize_budget(args: &[String]) -> Result<Budget, String> {
-    let mut budget = Budget::unlimited();
-    if let Some(secs) = flag_value(args, "--timeout") {
-        let secs: f64 = secs.parse().map_err(|e| format!("--timeout: {e}"))?;
-        if !secs.is_finite() || secs < 0.0 {
-            return Err(format!("--timeout: expected a nonnegative number, got `{secs}`"));
+/// The flag cluster shared by every budgeted command (`optimize`,
+/// `verify`, `serve`, `client`): wall-clock budget, step cap, worker
+/// count, journal spec, and output mode. Parsed once into one typed
+/// value instead of being re-scraped flag-by-flag in each command.
+#[derive(Debug, Clone, Default)]
+struct CommonFlags {
+    /// `--timeout SECS` (fractions allowed), as a duration.
+    timeout: Option<Duration>,
+    /// `--max-steps N` fixpoint step cap.
+    max_steps: Option<u64>,
+    /// Resolved worker count: `--jobs N|auto`, then `COBALT_JOBS`,
+    /// then 1.
+    jobs: usize,
+    /// Whether `--jobs` was passed explicitly (as opposed to resolved
+    /// from the environment or defaulted) — `optimize` uses this to
+    /// imply `--resilient`.
+    jobs_explicit: bool,
+    /// `--journal PATH` plus the `--resume`/`--fresh` mode.
+    journal: Option<(String, ResumeMode)>,
+    /// `--json`.
+    json: bool,
+}
+
+impl CommonFlags {
+    /// Parses the shared cluster; `cmd` prefixes error messages.
+    fn parse(args: &[String], cmd: &str) -> Result<CommonFlags, CliError> {
+        let timeout = match flag_value(args, "--timeout") {
+            None => None,
+            Some(secs) => {
+                let secs: f64 = secs
+                    .parse()
+                    .map_err(|e| CliError::general(format!("--timeout: {e}")))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(CliError::general(format!(
+                        "--timeout: expected a nonnegative number, got `{secs}`"
+                    )));
+                }
+                Some(Duration::from_secs_f64(secs))
+            }
+        };
+        let max_steps = match flag_value(args, "--max-steps") {
+            None => None,
+            Some(n) => Some(
+                n.parse::<u64>()
+                    .map_err(|e| CliError::general(format!("--max-steps: {e}")))?,
+            ),
+        };
+        Ok(CommonFlags {
+            timeout,
+            max_steps,
+            jobs: resolve_jobs(args).map_err(CliError::general)?,
+            jobs_explicit: flag_value(args, "--jobs").is_some(),
+            journal: journal_spec(args, cmd)?.map(|(p, m)| (p.to_string(), m)),
+            json: args.iter().any(|a| a == "--json"),
+        })
+    }
+
+    /// The engine [`Budget`] this cluster describes (`optimize` and
+    /// the daemon's per-request optimize budget).
+    fn engine_budget(&self) -> Budget {
+        let mut budget = Budget::unlimited();
+        if let Some(timeout) = self.timeout {
+            budget = budget.with_deadline(timeout);
         }
-        budget = budget.with_deadline(Duration::from_secs_f64(secs));
+        if let Some(n) = self.max_steps {
+            budget = budget.with_max_steps(n);
+        }
+        budget
     }
-    if let Some(n) = flag_value(args, "--max-steps") {
-        let n: u64 = n.parse().map_err(|e| format!("--max-steps: {e}"))?;
-        budget = budget.with_max_steps(n);
-    }
-    Ok(budget)
 }
 
 /// Maps an engine error onto the optimize exit-code contract: resource
@@ -276,6 +368,7 @@ fn cmd_optimize(args: &[String]) -> Result<String, CliError> {
             "optimize: expected one program file\n{USAGE}"
         )));
     };
+    let common = CommonFlags::parse(args, "optimize")?;
     let rounds: usize = flag_value(args, "--rounds")
         .unwrap_or("4")
         .parse()
@@ -283,20 +376,19 @@ fn cmd_optimize(args: &[String]) -> Result<String, CliError> {
     let passes = suite_by_names(flag_value(args, "--passes").unwrap_or("all"))?;
     let prog = parse_program(&read(path)?).map_err(|e| e.to_string())?;
     cobalt::il::validate(&prog).map_err(|e| e.to_string())?;
-    let engine = Engine::new(LabelEnv::standard()).with_budget(optimize_budget(args)?);
-    let json = args.iter().any(|a| a == "--json");
-    let journal = journal_spec(args, "optimize")?;
+    let engine = Engine::new(LabelEnv::standard()).with_budget(common.engine_budget());
+    let json = common.json;
     // The session driver carries resilient (pass-quarantining)
     // semantics; journaling, parallelism, and machine-readable reports
     // only make sense there, so those flags imply --resilient.
     let resilient = args.iter().any(|a| a == "--resilient")
         || json
-        || journal.is_some()
-        || flag_value(args, "--jobs").is_some();
+        || common.journal.is_some()
+        || common.jobs_explicit;
     if resilient {
-        let mut session = OptimizeSession::new(engine).with_jobs(verify_jobs(args)?);
-        if let Some((jpath, mode)) = journal {
-            session = session.with_journal(jpath, mode);
+        let mut session = OptimizeSession::new(engine).with_jobs(common.jobs);
+        if let Some((jpath, mode)) = &common.journal {
+            session = session.with_journal(jpath, *mode);
         }
         let (out, report) =
             session.optimize_program(&prog, &cobalt::opts::all_analyses(), &passes, rounds);
@@ -373,10 +465,10 @@ fn load_suite(path: Option<&str>) -> Result<(Vec<Optimization>, Vec<PureAnalysis
     }
 }
 
-/// Builds the retry policy for `verify` from `--timeout` (per-report
-/// wall-clock budget in seconds, fractions allowed) and `--max-splits`
-/// (cap on case splits per proof attempt, applied to every tier).
-fn verify_policy(args: &[String]) -> Result<RetryPolicy, String> {
+/// Builds the retry policy for `verify` from the shared `--timeout`
+/// (per-report wall-clock budget) and `--max-splits` (cap on case
+/// splits per proof attempt, applied to every tier).
+fn verify_policy(args: &[String], common: &CommonFlags) -> Result<RetryPolicy, String> {
     let mut policy = RetryPolicy::default();
     if let Some(n) = flag_value(args, "--max-splits") {
         let n: usize = n.parse().map_err(|e| format!("--max-splits: {e}"))?;
@@ -384,21 +476,20 @@ fn verify_policy(args: &[String]) -> Result<RetryPolicy, String> {
             tier.max_splits = tier.max_splits.min(n);
         }
     }
-    if let Some(secs) = flag_value(args, "--timeout") {
-        let secs: f64 = secs.parse().map_err(|e| format!("--timeout: {e}"))?;
-        if !secs.is_finite() || secs < 0.0 {
-            return Err(format!("--timeout: expected a nonnegative number, got `{secs}`"));
-        }
-        policy = policy.with_report_deadline(Duration::from_secs_f64(secs));
+    if let Some(timeout) = common.timeout {
+        policy = policy.with_report_deadline(timeout);
     }
     Ok(policy)
 }
 
-/// Resolves the worker count for `verify`: `--jobs N` wins, then the
-/// `COBALT_JOBS` environment variable, then 1 (sequential — the pool
-/// is bypassed entirely). Zero and non-numeric values are typed CLI
-/// errors, from either source.
-fn verify_jobs(args: &[String]) -> Result<usize, String> {
+/// Resolves the worker count: `--jobs` wins, then the `COBALT_JOBS`
+/// environment variable, then 1 (sequential — the pool is bypassed
+/// entirely). The value `auto` (from either source) asks the host via
+/// [`std::thread::available_parallelism`], clamped to 64; the pool
+/// further clamps its workers to the task count, so an oversized
+/// answer never spawns idle threads. Zero and non-numeric values are
+/// typed CLI errors, from either source.
+fn resolve_jobs(args: &[String]) -> Result<usize, String> {
     let (value, source) = match flag_value(args, "--jobs") {
         Some(v) => (v.to_string(), "--jobs"),
         None => match std::env::var("COBALT_JOBS") {
@@ -406,6 +497,12 @@ fn verify_jobs(args: &[String]) -> Result<usize, String> {
             Err(_) => return Ok(1),
         },
     };
+    if value.trim() == "auto" {
+        let n = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        return Ok(n.min(64));
+    }
     let jobs: usize = value
         .trim()
         .parse()
@@ -448,13 +545,13 @@ fn journal_spec<'a>(
     }
 }
 
-/// Builds the verification session for `verify` from the journal spec.
-/// A journal path that cannot be opened is a typed CLI error (exit 1),
-/// not a panic.
-fn verify_session(args: &[String], verifier: Verifier) -> Result<Session, CliError> {
-    match journal_spec(args, "verify")? {
+/// Builds the verification session for `verify` from the parsed
+/// journal spec. A journal path that cannot be opened is a typed CLI
+/// error (exit 1), not a panic.
+fn verify_session(common: &CommonFlags, verifier: Verifier) -> Result<Session, CliError> {
+    match &common.journal {
         None => Ok(Session::new(verifier)),
-        Some((path, mode)) => Session::with_journal(verifier, path, mode).map_err(|e| {
+        Some((path, mode)) => Session::with_journal(verifier, path, *mode).map_err(|e| {
             CliError::general(format!("verify: opening journal `{path}`: {e}"))
         }),
     }
@@ -462,11 +559,12 @@ fn verify_session(args: &[String], verifier: Verifier) -> Result<Session, CliErr
 
 fn cmd_verify(args: &[String]) -> Result<String, CliError> {
     let pos = positional(args);
+    let common = CommonFlags::parse(args, "verify")?;
     let (opts, analyses) = load_suite(pos.first().copied())?;
     let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
-        .with_retry_policy(verify_policy(args)?)
-        .with_jobs(verify_jobs(args)?);
-    let mut session = verify_session(args, verifier)?;
+        .with_retry_policy(verify_policy(args, &common)?)
+        .with_jobs(common.jobs);
+    let mut session = verify_session(&common, verifier)?;
     let mut out = String::new();
     if session.load_report().corrupted() {
         out.push_str(&format!(
@@ -696,6 +794,171 @@ fn cmd_hunt(args: &[String]) -> Result<String, String> {
             "no counterexample found for `{}` in {tries} tries\n",
             opt.name
         )),
+    }
+}
+
+/// Parses a `--…-ms MILLIS` flag with a default.
+fn ms_flag(args: &[String], flag: &str, default_ms: u64) -> Result<Duration, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(Duration::from_millis(default_ms)),
+        Some(v) => v
+            .parse::<u64>()
+            .map(Duration::from_millis)
+            .map_err(|e| CliError::general(format!("{flag}: {e}"))),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let pos = positional(args);
+    if !pos.is_empty() {
+        return Err(CliError::general(format!(
+            "serve: unexpected argument `{}`\n{USAGE}",
+            pos[0]
+        )));
+    }
+    let common = CommonFlags::parse(args, "serve")?;
+    let queue_cap: usize = flag_value(args, "--queue")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|e| format!("--queue: {e}"))?;
+    if queue_cap == 0 {
+        return Err(CliError::general("--queue: expected a positive capacity, got 0"));
+    }
+    let exec = ExecConfig {
+        policy: verify_policy(args, &common)?,
+        timeout: common.timeout,
+        max_steps: common.max_steps,
+        // Within-request parallelism is the dispatcher's decision
+        // (batch-size dependent); this is only the fallback.
+        jobs: 1,
+    };
+    let cfg = ServeConfig {
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:0").to_string(),
+        port_file: flag_value(args, "--port-file").map(PathBuf::from),
+        jobs: common.jobs,
+        queue_cap,
+        exec,
+        journal: common
+            .journal
+            .as_ref()
+            .map(|(p, m)| (PathBuf::from(p), *m)),
+        read_timeout: ms_flag(args, "--read-timeout-ms", 10_000)?,
+        write_timeout: ms_flag(args, "--write-timeout-ms", 10_000)?,
+        drain_wait: ms_flag(args, "--drain-ms", 5_000)?,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg)
+        .map_err(|e| CliError::general(format!("serve: starting daemon: {e}")))?;
+    // The address goes to stderr immediately (stdout is the summary,
+    // printed at exit); scripts rendezvous via --port-file.
+    eprintln!("cobalt serve: listening on {}", handle.addr());
+    let summary = handle.join();
+    let mut out = format!(
+        "serve: {} request(s) — {} fresh, {} cached, {} coalesced, {} shed, {} error(s); {} cache entr{}\n",
+        summary.received,
+        summary.fresh,
+        summary.cache_hits,
+        summary.coalesced,
+        summary.shed,
+        summary.errors,
+        summary.cache_entries,
+        if summary.cache_entries == 1 { "y" } else { "ies" },
+    );
+    if let Some(reason) = &summary.degraded {
+        out.push_str(&format!(
+            "note: proof cache degraded ({reason}); daemon served uncached\n"
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_client(args: &[String]) -> Result<String, CliError> {
+    let pos = positional(args);
+    let Some(&op_name) = pos.first() else {
+        return Err(CliError::general(format!(
+            "client: expected an operation (verify|optimize|ping|stats|shutdown)\n{USAGE}"
+        )));
+    };
+    let common = CommonFlags::parse(args, "client")?;
+    let op = match op_name {
+        "ping" => RequestOp::Ping,
+        "stats" => RequestOp::Stats,
+        "shutdown" => RequestOp::Shutdown,
+        "verify" => RequestOp::Verify {
+            suite: pos.get(1).map(|p| read(p)).transpose()?,
+            include_buggy: args.iter().any(|a| a == "--include-buggy"),
+        },
+        "optimize" => {
+            let Some(path) = pos.get(1) else {
+                return Err(CliError::general(format!(
+                    "client optimize: expected one program file\n{USAGE}"
+                )));
+            };
+            RequestOp::Optimize {
+                program: read(path)?,
+                passes: flag_value(args, "--passes").unwrap_or("all").to_string(),
+                rounds: flag_value(args, "--rounds")
+                    .unwrap_or("4")
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?,
+            }
+        }
+        other => {
+            return Err(CliError::general(format!(
+                "client: unknown operation `{other}`\n{USAGE}"
+            )))
+        }
+    };
+    let addr = match (flag_value(args, "--addr"), flag_value(args, "--port-file")) {
+        (Some(a), _) => a.to_string(),
+        (None, Some(pf)) => read(pf)?.trim().to_string(),
+        (None, None) => ClientConfig::default().addr,
+    };
+    let cfg = ClientConfig {
+        addr,
+        io_timeout: common.timeout.unwrap_or(Duration::from_secs(600)),
+        retries: flag_value(args, "--retries")
+            .unwrap_or("5")
+            .parse()
+            .map_err(|e| format!("--retries: {e}"))?,
+        ..ClientConfig::default()
+    };
+    let req = Request {
+        id: format!("cli-{}", std::process::id()),
+        op,
+    };
+    let resp = match request_with_retry(&cfg, &req) {
+        Ok(resp) => resp,
+        Err(ClientError::Shed(r)) => {
+            // Still overloaded after the whole retry budget: the
+            // daemon is resource-limited, not wrong — exit 3, like any
+            // exhausted budget.
+            return Err(CliError {
+                code: EXIT_RESOURCE_LIMITED,
+                msg: format!(
+                    "daemon shed the request after retries ({})",
+                    if r.error.is_empty() { "overloaded" } else { &r.error }
+                ),
+                out: None,
+            });
+        }
+        Err(e) => return Err(CliError::general(format!("client: {e}"))),
+    };
+    if !resp.note.is_empty() {
+        eprintln!("cobalt client: note: {}", resp.note);
+    }
+    match resp.status {
+        Status::Bye => Ok("daemon draining\n".to_string()),
+        Status::Ok if resp.exit == 0 => Ok(resp.output),
+        Status::Ok => Err(CliError {
+            code: resp.exit,
+            msg: format!("daemon verdict: {}", resp.verdict),
+            out: Some(resp.output),
+        }),
+        _ => Err(CliError::general(format!(
+            "daemon error: {}",
+            if resp.error.is_empty() { "unspecified" } else { &resp.error }
+        ))),
     }
 }
 
@@ -953,13 +1216,20 @@ proc main(x) {
         std::fs::remove_file(p).ok();
     }
 
+    fn common(args: &[String]) -> CommonFlags {
+        CommonFlags::parse(args, "test").unwrap()
+    }
+
     #[test]
     fn verify_flags_parse_and_cap_tiers() {
-        let policy = verify_policy(&["--max-splits".into(), "7".into()]).unwrap();
+        let args = vec!["--max-splits".to_string(), "7".to_string()];
+        let policy = verify_policy(&args, &common(&args)).unwrap();
         assert!(policy.tiers.iter().all(|t| t.max_splits == 7));
-        assert!(verify_policy(&["--timeout".into(), "abc".into()]).is_err());
-        assert!(verify_policy(&["--timeout".into(), "-1".into()]).is_err());
-        let policy = verify_policy(&["--timeout".into(), "1.5".into()]).unwrap();
+        // Bad timeouts are caught once, in the shared cluster parse.
+        assert!(CommonFlags::parse(&["--timeout".into(), "abc".into()], "t").is_err());
+        assert!(CommonFlags::parse(&["--timeout".into(), "-1".into()], "t").is_err());
+        let args = vec!["--timeout".to_string(), "1.5".to_string()];
+        let policy = verify_policy(&args, &common(&args)).unwrap();
         assert_eq!(
             policy.report_deadline,
             Some(std::time::Duration::from_millis(1500))
@@ -967,19 +1237,74 @@ proc main(x) {
     }
 
     #[test]
-    fn verify_jobs_flag_parses_and_rejects_nonsense() {
+    fn common_flags_parse_the_whole_cluster_once() {
+        let args: Vec<String> = [
+            "--timeout", "2", "--max-steps", "9", "--jobs", "3", "--journal", "j.cobj",
+            "--fresh", "--json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let c = common(&args);
+        assert_eq!(c.timeout, Some(std::time::Duration::from_secs(2)));
+        assert_eq!(c.max_steps, Some(9));
+        assert_eq!(c.jobs, 3);
+        assert!(c.jobs_explicit);
+        assert_eq!(c.journal, Some(("j.cobj".to_string(), ResumeMode::Fresh)));
+        assert!(c.json);
+        // And the engine budget it derives is the strict one.
+        let b = c.engine_budget();
+        assert_eq!(b.max_steps(), Some(9));
+        assert!(format!("{b:?}").contains("deadline: Some"), "{b:?}");
+    }
+
+    #[test]
+    fn resolve_jobs_flag_parses_and_rejects_nonsense() {
         // No flag and no env (the test env never sets COBALT_JOBS):
         // sequential default.
-        assert_eq!(verify_jobs(&[]).unwrap(), 1);
-        assert_eq!(verify_jobs(&["--jobs".into(), "4".into()]).unwrap(), 4);
-        assert_eq!(verify_jobs(&["--jobs".into(), " 2 ".into()]).unwrap(), 2);
-        let err = verify_jobs(&["--jobs".into(), "0".into()]).unwrap_err();
+        assert_eq!(resolve_jobs(&[]).unwrap(), 1);
+        assert_eq!(resolve_jobs(&["--jobs".into(), "4".into()]).unwrap(), 4);
+        assert_eq!(resolve_jobs(&["--jobs".into(), " 2 ".into()]).unwrap(), 2);
+        let err = resolve_jobs(&["--jobs".into(), "0".into()]).unwrap_err();
         assert!(err.contains("positive worker count"), "{err}");
-        let err = verify_jobs(&["--jobs".into(), "many".into()]).unwrap_err();
+        let err = resolve_jobs(&["--jobs".into(), "many".into()]).unwrap_err();
         assert!(err.contains("--jobs"), "{err}");
         // And it surfaces as a typed exit-1 CLI error, not a panic.
         let err = run_cli(&["verify".into(), "--jobs".into(), "0".into()]).unwrap_err();
         assert_eq!(err.code, 1, "{}", err.msg);
+    }
+
+    #[test]
+    fn resolve_jobs_auto_asks_the_host_and_clamps() {
+        let jobs = resolve_jobs(&["--jobs".into(), "auto".into()]).unwrap();
+        assert!(jobs >= 1, "auto resolved to zero workers");
+        assert!(jobs <= 64, "auto must clamp: got {jobs}");
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(jobs, host.min(64));
+        // `auto` still runs a real verification identically: the pool
+        // further clamps workers to the task count (a regression test
+        // for the worker clamp — see pool::run_ordered).
+        let p = write_tmp(
+            "suite_auto.cob",
+            "forward const_prop {
+                stmt(Y := C) followed by !mayDef(Y)
+                until X := Y => X := C
+                with witness eta(Y) == C
+            }",
+        );
+        let strip_times = |s: String| -> Vec<String> {
+            // "… proved in 6.9ms" → "… proved" (wall-clock is the one
+            // legitimately nondeterministic byte range).
+            s.lines()
+                .map(|l| l.split(" in ").next().unwrap_or(l).to_string())
+                .collect()
+        };
+        let auto = run_cli(&["verify".into(), p.clone(), "--jobs".into(), "auto".into()]).unwrap();
+        let seq = run_cli(&["verify".into(), p.clone()]).unwrap();
+        assert_eq!(strip_times(auto), strip_times(seq));
+        std::fs::remove_file(p).ok();
     }
 
     #[test]
@@ -1174,6 +1499,93 @@ proc main(x) {
         .unwrap_err();
         assert_eq!(err.code, EXIT_LINT, "{}", err.msg);
         assert!(err.out.as_deref().unwrap_or("").contains("CL000"), "{err:?}");
+    }
+
+    /// Full serve/client loop through `run_cli` itself: daemon on an
+    /// ephemeral port (rendezvous via --port-file), one client verify,
+    /// one warm repeat, then an in-band shutdown — asserting the
+    /// client's stdout is byte-identical between fresh and cached.
+    #[test]
+    fn serve_and_client_commands_round_trip() {
+        let suite = write_tmp(
+            "serve_cli.cob",
+            "forward const_prop {
+                stmt(Y := C) followed by !mayDef(Y)
+                until X := Y => X := C
+                with witness eta(Y) == C
+            }",
+        );
+        let pf_path = std::env::temp_dir().join(format!(
+            "cobalt_cli_{}_serve.port",
+            std::process::id()
+        ));
+        std::fs::remove_file(&pf_path).ok();
+        let pf = pf_path.to_string_lossy().into_owned();
+        let server = {
+            let pf = pf.clone();
+            std::thread::spawn(move || {
+                run_cli(&["serve".into(), "--port-file".into(), pf, "--jobs".into(), "2".into()])
+            })
+        };
+        // Wait for the port file (the daemon writes it after bind).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !pf_path.exists() {
+            assert!(std::time::Instant::now() < deadline, "daemon never bound");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let client = |extra: &[&str]| {
+            let mut args: Vec<String> = vec!["client".into()];
+            args.extend(extra.iter().map(|s| s.to_string()));
+            args.extend(["--port-file".into(), pf.clone()]);
+            run_cli(&args)
+        };
+        assert_eq!(client(&["ping"]).unwrap(), "pong\n");
+        let cold = client(&["verify", &suite]).unwrap();
+        assert!(cold.contains("proved"), "{cold}");
+        let warm = client(&["verify", &suite]).unwrap();
+        assert_eq!(cold, warm, "cached replay must be byte-identical");
+        let stats = client(&["stats"]).unwrap();
+        assert!(stats.contains("cache_hits=1"), "{stats}");
+        assert_eq!(client(&["shutdown"]).unwrap(), "daemon draining\n");
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("1 fresh"), "{summary}");
+        assert!(summary.contains("1 cached"), "{summary}");
+        std::fs::remove_file(&pf_path).ok();
+        std::fs::remove_file(suite).ok();
+    }
+
+    #[test]
+    fn client_without_daemon_is_a_typed_connect_error() {
+        // Bind-then-drop to find a dead port; 0 retries keeps it fast.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = run_cli(&[
+            "client".into(),
+            "ping".into(),
+            "--addr".into(),
+            addr,
+            "--retries".into(),
+            "0".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.code, 1, "{}", err.msg);
+        assert!(err.msg.contains("connect"), "{}", err.msg);
+    }
+
+    #[test]
+    fn serve_and_client_flags_are_validated() {
+        let err = run_cli(&["serve".into(), "--queue".into(), "0".into()]).unwrap_err();
+        assert!(err.msg.contains("--queue"), "{}", err.msg);
+        let err = run_cli(&["serve".into(), "stray".into()]).unwrap_err();
+        assert!(err.msg.contains("unexpected argument"), "{}", err.msg);
+        let err = run_cli(&["client".into()]).unwrap_err();
+        assert!(err.msg.contains("expected an operation"), "{}", err.msg);
+        let err = run_cli(&["client".into(), "dance".into()]).unwrap_err();
+        assert!(err.msg.contains("unknown operation"), "{}", err.msg);
+        let err = run_cli(&["client".into(), "optimize".into()]).unwrap_err();
+        assert!(err.msg.contains("expected one program file"), "{}", err.msg);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`opts`] | `cobalt-opts` | the optimization suite (§2, §6) |
 //! | [`lint`] | `cobalt-lint` | static analysis: rule and IL linters gating the prover |
 //! | [`tv`] | `cobalt-tv` | the translation-validation baseline (§1, §8) |
+//! | [`serve`] | `cobalt-serve` | the verification daemon: shared proof cache, load shedding, graceful drain |
 //!
 //! # Quickstart
 //!
@@ -66,5 +67,6 @@ pub use cobalt_il as il;
 pub use cobalt_lint as lint;
 pub use cobalt_logic as logic;
 pub use cobalt_opts as opts;
+pub use cobalt_serve as serve;
 pub use cobalt_tv as tv;
 pub use cobalt_verify as verify;

@@ -528,6 +528,463 @@ fn fault_injected_merge_failure_degrades_and_preserves_semantics() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The verification daemon (`cobalt serve`): deadline disconnects, load
+// shedding, single-flight dedup, fault degradation, graceful drain, and
+// kill-the-daemon crash recovery.
+// ---------------------------------------------------------------------------
+
+mod serve {
+    use super::*;
+    use cobalt::serve::{
+        request_with_retry, ClientConfig, ClientError, Request, RequestOp, ServeConfig,
+        ServedFrom, Server, ServerHandle, Status,
+    };
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    /// A one-rule suite (27 obligations) — the daemon's workload unit.
+    const SUITE: &str = "forward const_prop {
+        stmt(Y := C) followed by !mayDef(Y)
+        until X := Y => X := C
+        with witness eta(Y) == C
+    }";
+
+    /// A distinct suite (different rule name → different fingerprint).
+    const SUITE_B: &str = "forward const_prop_b {
+        stmt(Y := C) followed by !mayDef(Y)
+        until X := Y => X := C
+        with witness eta(Y) == C
+    }";
+
+    const SUITE_C: &str = "forward const_prop_c {
+        stmt(Y := C) followed by !mayDef(Y)
+        until X := Y => X := C
+        with witness eta(Y) == C
+    }";
+
+    fn verify_req(id: &str, suite: &str) -> Request {
+        Request {
+            id: id.into(),
+            op: RequestOp::Verify {
+                suite: Some(suite.into()),
+                include_buggy: false,
+            },
+        }
+    }
+
+    fn client_cfg(handle: &ServerHandle, retries: u32) -> ClientConfig {
+        ClientConfig {
+            addr: handle.addr().to_string(),
+            io_timeout: Duration::from_secs(120),
+            retries,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(100),
+        }
+    }
+
+    /// A client that stops talking is disconnected at the read
+    /// deadline — and the daemon keeps serving everyone else.
+    #[test]
+    fn slow_client_is_disconnected_at_the_read_deadline() {
+        let handle = Server::start(ServeConfig {
+            read_timeout: Duration::from_millis(200),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        // Connect and go silent: the daemon must hang up on us.
+        let mut mute = TcpStream::connect(handle.addr()).unwrap();
+        mute.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut buf = [0u8; 16];
+        let start = std::time::Instant::now();
+        let n = mute.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "the daemon must close a silent connection");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "disconnect took {:?}",
+            start.elapsed()
+        );
+        // The daemon is unharmed: a well-behaved client still gets
+        // answered afterwards.
+        let pong = request_with_retry(
+            &client_cfg(&handle, 1),
+            &Request { id: "p".into(), op: RequestOp::Ping },
+        )
+        .unwrap();
+        assert_eq!(pong.status, Status::Ok);
+        handle.shutdown();
+        handle.join();
+    }
+
+    /// Overload: with one worker busy on a slow proof and a one-slot
+    /// queue, excess requests get a typed `shed` with a usable
+    /// retry hint — not an unbounded queue, not a hang.
+    #[test]
+    fn full_queue_sheds_with_typed_response_and_retry_hint() {
+        let handle = fault::with_faults("checker.obligation:delay_ms@50", || {
+            Server::start(ServeConfig {
+                jobs: 1,
+                queue_cap: 1,
+                drain_wait: Duration::from_secs(60),
+                ..ServeConfig::default()
+            })
+            .unwrap()
+        });
+        // The blocker: ~27 obligations × 50ms ≈ 1.4s of prover time.
+        let blocker = {
+            let cfg = client_cfg(&handle, 0);
+            std::thread::spawn(move || request_with_retry(&cfg, &verify_req("blk", SUITE)))
+        };
+        // Give the dispatcher time to pick the blocker up, then fill
+        // the queue and overflow it.
+        std::thread::sleep(Duration::from_millis(400));
+        let filler = {
+            let cfg = client_cfg(&handle, 0);
+            std::thread::spawn(move || request_with_retry(&cfg, &verify_req("fill", SUITE_B)))
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        match request_with_retry(&client_cfg(&handle, 0), &verify_req("over", SUITE_C)) {
+            Err(ClientError::Shed(resp)) => {
+                assert_eq!(resp.status, Status::Shed);
+                assert!(
+                    (25..=2000).contains(&resp.retry_after_ms),
+                    "hint out of band: {}",
+                    resp.retry_after_ms
+                );
+                assert!(resp.error.contains("queue full"), "{}", resp.error);
+            }
+            other => panic!("expected a typed shed, got {other:?}"),
+        }
+        // Nobody already admitted is harmed by the overload.
+        let blocked = blocker.join().unwrap().unwrap();
+        assert_eq!(blocked.exit, 0, "{}", blocked.output);
+        let filled = filler.join().unwrap().unwrap();
+        assert_eq!(filled.exit, 0, "{}", filled.output);
+        handle.shutdown();
+        let summary = handle.join();
+        assert!(summary.shed >= 1, "{summary:?}");
+        assert_eq!(summary.fresh, 2, "{summary:?}");
+    }
+
+    /// Single-flight dedup: two clients proving the same suite while
+    /// the worker is busy land in one batch — exactly one prover run,
+    /// the second response coalesced onto it, payloads byte-identical.
+    #[test]
+    fn concurrent_identical_requests_share_one_prover_run() {
+        let handle = fault::with_faults("checker.obligation:delay_ms@20", || {
+            Server::start(ServeConfig {
+                jobs: 2,
+                queue_cap: 16,
+                drain_wait: Duration::from_secs(60),
+                ..ServeConfig::default()
+            })
+            .unwrap()
+        });
+        // Occupy the dispatcher so the twins queue up together.
+        let blocker = {
+            let cfg = client_cfg(&handle, 0);
+            std::thread::spawn(move || request_with_retry(&cfg, &verify_req("blk", SUITE_B)))
+        };
+        std::thread::sleep(Duration::from_millis(150));
+        let twins: Vec<_> = (0..2)
+            .map(|i| {
+                let cfg = client_cfg(&handle, 0);
+                std::thread::spawn(move || {
+                    request_with_retry(&cfg, &verify_req(&format!("twin{i}"), SUITE))
+                })
+            })
+            .collect();
+        let results: Vec<_> = twins
+            .into_iter()
+            .map(|t| t.join().unwrap().unwrap())
+            .collect();
+        blocker.join().unwrap().unwrap();
+        handle.shutdown();
+        let summary = handle.join();
+        // Identical payloads, whatever the serving path.
+        assert_eq!(results[0].output, results[1].output);
+        assert_eq!(results[0].exit, 0, "{}", results[0].output);
+        assert_eq!(results[0].verdict, results[1].verdict);
+        // Exactly one prover run for the twins (+1 for the blocker):
+        // the second twin was coalesced onto the first's run, or — if
+        // the batches happened to split — served from its cache entry.
+        // Either way the run count cannot exceed blocker + one twin.
+        assert_eq!(summary.fresh, 2, "one run for two twins: {summary:?}");
+        assert_eq!(
+            summary.coalesced + summary.cache_hits,
+            1,
+            "the second twin must not have run: {summary:?}"
+        );
+    }
+
+    /// The four `serve.*` fault points degrade exactly one connection
+    /// each — never the daemon, never a verdict.
+    #[test]
+    fn serve_fault_points_degrade_single_connections_not_the_daemon() {
+        // serve.accept: the faulted connection is dropped right after
+        // accept. TCP-wise the client's connect succeeded, so it sees
+        // a mid-exchange reset (final — nothing executed, but the
+        // client can't know that); its next request is served fine.
+        let handle = fault::with_faults("serve.accept:fail@1", || {
+            Server::start(ServeConfig::default()).unwrap()
+        });
+        let ping = Request { id: "p".into(), op: RequestOp::Ping };
+        match request_with_retry(&client_cfg(&handle, 0), &ping) {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected the dropped connection as Io, got {other:?}"),
+        }
+        let pong = request_with_retry(&client_cfg(&handle, 0), &ping).unwrap();
+        assert_eq!(pong.status, Status::Ok, "the daemon must survive the accept fault");
+        handle.shutdown();
+        handle.join();
+
+        // serve.read: the connection dies before reading the request —
+        // the client sees a closed socket (final, not retried: nothing
+        // executed, but the client can't know that), the daemon lives.
+        let handle = fault::with_faults("serve.read:fail@1", || {
+            Server::start(ServeConfig::default()).unwrap()
+        });
+        match request_with_retry(&client_cfg(&handle, 0), &verify_req("r", SUITE)) {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected an Io disconnect, got {other:?}"),
+        }
+        let pong = request_with_retry(
+            &client_cfg(&handle, 1),
+            &Request { id: "p".into(), op: RequestOp::Ping },
+        )
+        .unwrap();
+        assert_eq!(pong.status, Status::Ok);
+        handle.shutdown();
+        handle.join();
+
+        // serve.write: the request EXECUTES but the response line is
+        // lost. The client's manual retry is served from cache — the
+        // crash-safe cache is what makes a lost response harmless.
+        let handle = fault::with_faults("serve.write:fail@1", || {
+            Server::start(ServeConfig::default()).unwrap()
+        });
+        match request_with_retry(&client_cfg(&handle, 0), &verify_req("w", SUITE)) {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected an Io disconnect, got {other:?}"),
+        }
+        let replay = request_with_retry(&client_cfg(&handle, 0), &verify_req("w2", SUITE)).unwrap();
+        assert_eq!(replay.exit, 0, "{}", replay.output);
+        assert_eq!(
+            replay.served,
+            ServedFrom::Cache,
+            "the lost response's work must be reused"
+        );
+        handle.shutdown();
+        handle.join();
+    }
+
+    /// `serve.cache` trouble at startup degrades the daemon to an
+    /// uncached in-memory cache: every verdict still correct, every
+    /// response carrying the degradation note, exit path clean.
+    #[test]
+    fn cache_fault_degrades_to_uncached_service_with_note() {
+        let journal = std::env::temp_dir().join(format!(
+            "cobalt_robustness_{}_serve_cachefault.cobj",
+            std::process::id()
+        ));
+        std::fs::remove_file(&journal).ok();
+        let handle = fault::with_faults("serve.cache:fail@1", || {
+            Server::start(ServeConfig {
+                journal: Some((journal.clone(), ResumeMode::Resume)),
+                ..ServeConfig::default()
+            })
+            .unwrap()
+        });
+        let resp = request_with_retry(&client_cfg(&handle, 0), &verify_req("c", SUITE)).unwrap();
+        assert_eq!(resp.exit, 0, "degradation must not change the verdict: {}", resp.output);
+        assert!(
+            resp.note.contains("degraded"),
+            "the response must disclose the degraded cache: {:?}",
+            resp.note
+        );
+        handle.shutdown();
+        let summary = handle.join();
+        assert!(summary.degraded.is_some(), "{summary:?}");
+        std::fs::remove_file(&journal).ok();
+    }
+
+    /// Graceful drain with work in flight: the in-flight request gets
+    /// its full answer, then the daemon exits with a clean summary.
+    #[test]
+    fn drain_waits_for_in_flight_work() {
+        let handle = fault::with_faults("checker.obligation:delay_ms@20", || {
+            Server::start(ServeConfig {
+                drain_wait: Duration::from_secs(60),
+                ..ServeConfig::default()
+            })
+            .unwrap()
+        });
+        let inflight = {
+            let cfg = client_cfg(&handle, 0);
+            std::thread::spawn(move || request_with_retry(&cfg, &verify_req("in", SUITE)))
+        };
+        std::thread::sleep(Duration::from_millis(150));
+        handle.shutdown();
+        let resp = inflight.join().unwrap().unwrap();
+        assert_eq!(resp.exit, 0, "drain must not rob the in-flight request: {}", resp.output);
+        let summary = handle.join();
+        assert_eq!(summary.fresh, 1, "{summary:?}");
+    }
+
+    /// Hard drain: when the grace period expires first, the in-flight
+    /// request is budget-cancelled — it answers resource-limited
+    /// (exit 3, inconclusive), never unsound, and the daemon still
+    /// exits cleanly.
+    #[test]
+    fn drain_deadline_budget_cancels_in_flight_work() {
+        let handle = fault::with_faults("checker.obligation:delay_ms@200", || {
+            Server::start(ServeConfig {
+                drain_wait: Duration::from_millis(100),
+                ..ServeConfig::default()
+            })
+            .unwrap()
+        });
+        let inflight = {
+            let cfg = client_cfg(&handle, 0);
+            std::thread::spawn(move || request_with_retry(&cfg, &verify_req("in", SUITE)))
+        };
+        // Let the request start proving, then drain with a deadline
+        // far shorter than its ~5s of injected prover delay.
+        std::thread::sleep(Duration::from_millis(300));
+        handle.shutdown();
+        let summary = handle.join();
+        let resp = inflight.join().unwrap().unwrap();
+        assert_eq!(
+            resp.exit, 3,
+            "a cancelled proof is inconclusive, never a verdict: {}",
+            resp.output
+        );
+        assert_eq!(resp.verdict, "resource-limited");
+        assert_eq!(summary.fresh, 1, "{summary:?}");
+    }
+
+    /// A raw junk line gets a typed protocol error response — the
+    /// connection (and daemon) survive to serve a valid request next.
+    #[test]
+    fn malformed_request_line_gets_typed_error_and_connection_survives() {
+        let handle = Server::start(ServeConfig::default()).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"this is not a request\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"status\":\"error\""), "{line}");
+        // Same connection, valid request: still served.
+        writer
+            .write_all(format!("{}\n", Request { id: "p".into(), op: RequestOp::Ping }.encode()).as_bytes())
+            .unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        handle.shutdown();
+        let summary = handle.join();
+        assert_eq!(summary.errors, 1, "{summary:?}");
+    }
+
+    /// Acceptance: SIGKILL the daemon *process* mid-request, restart it
+    /// on the same journal, and the work completed before the kill
+    /// replays from cache while the interrupted request re-proves.
+    #[test]
+    fn killed_daemon_restarts_warm_from_its_journal() {
+        let dir = std::env::temp_dir();
+        let tag = format!("cobalt_robustness_{}_kill9", std::process::id());
+        let journal = dir.join(format!("{tag}.cobj"));
+        let port_file = dir.join(format!("{tag}.port"));
+        let suite_file = dir.join(format!("{tag}.cob"));
+        for f in [&journal, &port_file] {
+            std::fs::remove_file(f).ok();
+        }
+        std::fs::write(&suite_file, SUITE).unwrap();
+
+        let spawn_daemon = |faults: Option<&str>| {
+            let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_cobalt"));
+            cmd.args([
+                "serve",
+                "--port-file",
+                port_file.to_str().unwrap(),
+                "--journal",
+                journal.to_str().unwrap(),
+            ])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+            if let Some(f) = faults {
+                cmd.env("COBALT_FAULTS", f);
+            }
+            cmd.spawn().unwrap()
+        };
+        let await_port = || {
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&port_file) {
+                    if s.trim().ends_with(|c: char| c.is_ascii_digit()) && !s.trim().is_empty() {
+                        return s.trim().to_string();
+                    }
+                }
+                assert!(std::time::Instant::now() < deadline, "daemon never bound");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        };
+        let cfg_for = |addr: String| ClientConfig {
+            addr,
+            io_timeout: Duration::from_secs(120),
+            retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(100),
+        };
+
+        // Daemon 1 (with injected prover delay so the kill lands
+        // mid-request): complete one suite, then kill -9 during the
+        // second.
+        let mut child = spawn_daemon(Some("checker.obligation:delay_ms@20"));
+        let cfg = cfg_for(await_port());
+        let first = request_with_retry(&cfg, &verify_req("a", SUITE)).unwrap();
+        assert_eq!(first.exit, 0, "{}", first.output);
+        let interrupted = {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || request_with_retry(&cfg, &verify_req("b", SUITE_B)))
+        };
+        std::thread::sleep(Duration::from_millis(250));
+        child.kill().unwrap(); // SIGKILL: no drain, no compaction
+        child.wait().unwrap();
+        assert!(
+            interrupted.join().unwrap().is_err(),
+            "the killed daemon cannot have answered"
+        );
+
+        // Daemon 2, same journal: the completed suite replays from
+        // cache; the interrupted one proves fresh — same verdicts.
+        std::fs::remove_file(&port_file).ok();
+        let mut child = spawn_daemon(None);
+        let cfg = cfg_for(await_port());
+        let warm = request_with_retry(&cfg, &verify_req("a2", SUITE)).unwrap();
+        assert_eq!(warm.exit, 0, "{}", warm.output);
+        assert_eq!(
+            warm.served,
+            ServedFrom::Cache,
+            "work completed before the kill must replay warm"
+        );
+        assert_eq!(warm.output, first.output, "cached replay must be byte-identical");
+        let reproved = request_with_retry(&cfg, &verify_req("b2", SUITE_B)).unwrap();
+        assert_eq!(reproved.exit, 0, "{}", reproved.output);
+        assert_eq!(reproved.served, ServedFrom::Fresh);
+        // Graceful shutdown: exit code 0 and a compacted journal.
+        let bye = request_with_retry(&cfg, &Request { id: "q".into(), op: RequestOp::Shutdown })
+            .unwrap();
+        assert_eq!(bye.status, Status::Bye);
+        let status = child.wait().unwrap();
+        assert!(status.success(), "graceful drain must exit 0: {status:?}");
+        for f in [&journal, &port_file, &suite_file] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+}
+
 /// The resilient driver without any faults is exactly the strict
 /// driver: same output programs, same rewrite count, empty report.
 #[test]

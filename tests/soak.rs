@@ -14,8 +14,11 @@
 use cobalt::dsl::LabelEnv;
 use cobalt::engine::{Engine, OptimizeSession};
 use cobalt::il::{generate, pretty_program, EvalError, GenConfig, Interp, Program};
+use cobalt::serve::{request_with_retry, ClientConfig, Request, RequestOp};
 use cobalt::verify::{ResumeMode, SemanticMeanings, Session, Verifier};
 use cobalt_support::rng::Rng;
+use std::collections::HashMap;
+use std::time::Duration;
 
 #[test]
 #[ignore = "soak test: minutes of CPU; run explicitly"]
@@ -232,6 +235,180 @@ fn engine_journal_crash_resume_soak() {
     }
     println!("engine soak: 150 rounds, {kills} kills, {tears} tears, {flips} flips survived");
     std::fs::remove_file(&path).ok();
+}
+
+/// Daemon chaos soak (ISSUE 9): rounds of a real `cobalt serve`
+/// process under concurrent clients, ended half the time by SIGKILL
+/// mid-traffic and half the time by a graceful in-band shutdown —
+/// always restarting on the same proof-cache journal. The invariants:
+/// every response that arrives parses and carries a consistent verdict
+/// (a sound suite never reads unsound, the planted-bug suite never
+/// reads proved, and proved payload bytes never drift between fresh,
+/// cached, and coalesced serves); every graceful shutdown exits 0; and every
+/// restart reopens the survivor journal without complaint.
+#[test]
+#[ignore = "soak test: minutes of CPU; run explicitly"]
+fn serve_chaos_soak() {
+    const SOUND_A: &str = "forward soak_cp_a {
+        stmt(Y := C) followed by !mayDef(Y)
+        until X := Y => X := C
+        with witness eta(Y) == C
+    }";
+    const SOUND_B: &str = "forward soak_cp_b {
+        stmt(Y := C) followed by !mayDef(Y)
+        until X := Y => X := C
+        with witness eta(Y) == C
+    }";
+    // Guard on the wrong variable: genuinely unsound, must always be
+    // rejected (exit 2), never proved.
+    const UNSOUND: &str = "forward soak_bad {
+        stmt(Y := C) followed by !mayDef(X)
+        until X := Y => X := C
+        with witness eta(Y) == C
+    }";
+    let suites: [(&str, u8); 3] = [(SOUND_A, 0), (SOUND_B, 0), (UNSOUND, 2)];
+
+    let dir = std::env::temp_dir();
+    let tag = format!("cobalt_soak_serve_{}", std::process::id());
+    let journal = dir.join(format!("{tag}.cobj"));
+    let port_file = dir.join(format!("{tag}.port"));
+    std::fs::remove_file(&journal).ok();
+
+    let mut rng = Rng::seed_from_u64(0x5E12E);
+    let mut expected: HashMap<u8, String> = HashMap::new(); // suite idx → payload
+    let (mut kills, mut drains, mut answered, mut refused) = (0u32, 0u32, 0u64, 0u64);
+
+    for round in 0..20u32 {
+        std::fs::remove_file(&port_file).ok();
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_cobalt"))
+            .args([
+                "serve",
+                "--jobs",
+                "2",
+                "--port-file",
+                port_file.to_str().unwrap(),
+                "--journal",
+                journal.to_str().unwrap(),
+            ])
+            // A small injected prover delay widens the kill window so
+            // SIGKILL actually lands mid-proof sometimes.
+            .env("COBALT_FAULTS", "checker.obligation:delay_ms@2")
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap();
+        let addr = {
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            loop {
+                match std::fs::read_to_string(&port_file) {
+                    Ok(s) if s.trim().ends_with(|c: char| c.is_ascii_digit()) => {
+                        break s.trim().to_string()
+                    }
+                    _ => {}
+                }
+                assert!(std::time::Instant::now() < deadline, "round {round}: never bound");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        };
+
+        // Concurrent clients hammer a random mix of the three suites.
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let addr = addr.clone();
+                let picks: Vec<u8> =
+                    (0..3).map(|_| rng.gen_range(0u32..3) as u8).collect();
+                std::thread::spawn(move || {
+                    let cfg = ClientConfig {
+                        addr,
+                        io_timeout: Duration::from_secs(60),
+                        retries: 1,
+                        backoff_base: Duration::from_millis(5),
+                        backoff_cap: Duration::from_millis(50),
+                    };
+                    let mut got: Vec<(u8, u8, String)> = Vec::new();
+                    let mut lost = 0u64;
+                    for (i, &pick) in picks.iter().enumerate() {
+                        let req = Request {
+                            id: format!("w{w}r{i}"),
+                            op: RequestOp::Verify {
+                                suite: Some(suites[pick as usize].0.to_string()),
+                                include_buggy: false,
+                            },
+                        };
+                        match request_with_retry(&cfg, &req) {
+                            // A parsed response: the protocol survived
+                            // whatever the chaos was doing.
+                            Ok(resp) => got.push((pick, resp.exit, resp.output)),
+                            // Connection trouble is legitimate while
+                            // the daemon is being killed; a response
+                            // that PARSES WRONG would panic above.
+                            Err(_) => lost += 1,
+                        }
+                    }
+                    (got, lost)
+                })
+            })
+            .collect();
+
+        let kill = rng.gen_range(0u32..2) == 0;
+        if kill {
+            // Let some traffic land, then SIGKILL mid-flight.
+            std::thread::sleep(Duration::from_millis(rng.gen_range(30..400) as u64));
+            child.kill().unwrap();
+            kills += 1;
+        }
+        for worker in workers {
+            let (got, lost) = worker.join().unwrap();
+            refused += lost;
+            for (pick, exit, output) in got {
+                answered += 1;
+                // Exit 3 (resource-limited) is a legitimate inconclusive
+                // answer while a drain budget-cancels in-flight work; the
+                // verdict invariants are one-sided: a sound suite never
+                // reads unsound and the planted bug never reads proved.
+                let want_exit = suites[pick as usize].1;
+                assert!(
+                    exit == want_exit || exit == 3,
+                    "round {round}: verdict flipped for suite {pick} (exit {exit}): {output}"
+                );
+                // Payload bytes never drift across fresh/cache/coalesced
+                // serves, rounds, or daemon generations. Only conclusive
+                // sound payloads are byte-stable: an unsound suite's
+                // FAILED lines depend on how far the fail-fast cancel let
+                // sibling obligations run, so exit-2 bytes may vary.
+                if exit == 0 {
+                    let prior = expected.entry(pick).or_insert_with(|| output.clone());
+                    assert_eq!(*prior, output, "round {round}: payload drift for suite {pick}");
+                }
+            }
+        }
+        if kill {
+            child.wait().unwrap();
+        } else {
+            drains += 1;
+            let bye = request_with_retry(
+                &ClientConfig {
+                    addr,
+                    io_timeout: Duration::from_secs(60),
+                    retries: 2,
+                    backoff_base: Duration::from_millis(10),
+                    backoff_cap: Duration::from_millis(100),
+                },
+                &Request { id: "bye".into(), op: RequestOp::Shutdown },
+            )
+            .unwrap();
+            assert_eq!(format!("{:?}", bye.status), "Bye", "round {round}");
+            let status = child.wait().unwrap();
+            assert!(status.success(), "round {round}: graceful drain must exit 0: {status:?}");
+        }
+    }
+    println!(
+        "serve soak: 20 rounds, {kills} kills, {drains} drains; \
+         {answered} answered, {refused} refused mid-chaos"
+    );
+    assert!(answered > 0, "the soak never exercised a response");
+    std::fs::remove_file(&journal).ok();
+    std::fs::remove_file(&port_file).ok();
 }
 
 /// Parallel kill/resume soak (ISSUE 5): rounds of a `--jobs 4` session
