@@ -151,7 +151,6 @@ pub fn request_with_retry(cfg: &ClientConfig, req: &Request) -> Result<Response,
 mod tests {
     use super::*;
     use crate::proto::RequestOp;
-    use std::io::Write as _;
     use std::net::TcpListener;
 
     fn ping() -> Request {

@@ -228,10 +228,19 @@ fn exec_verify(
             Err(e) => return ExecResult::error(format!("suite parse error: {e}")),
         },
     };
+    // Fail-fast is off: an unsound obligation must not cancel its
+    // siblings, or the outcome set — and so the FAILED lines of an
+    // exit-2 payload, which *is* cached — would depend on completion
+    // timing instead of being a pure function of the request. The
+    // request token is observed per batch through a linked child
+    // (`Verifier::with_cancel`), so a drain trip still stands every
+    // rule's batch down while nothing the checker does can trip the
+    // request token itself.
     let verifier = Verifier::new(LabelEnv::standard(), SemanticMeanings::standard())
         .with_retry_policy(cfg.policy.clone())
         .with_jobs(cfg.jobs)
-        .with_cancel(cancel.clone());
+        .with_cancel(cancel.clone())
+        .with_fail_fast(false);
     let mut out = String::new();
     let mut unsound = false;
     let mut limited = false;
@@ -460,6 +469,46 @@ mod tests {
         );
         assert_eq!(r.exit, 1);
         assert_eq!(r.verdict, "error");
+    }
+
+    #[test]
+    fn unsound_rule_never_poisons_later_batches_or_the_request_token() {
+        // Regression: exec_verify shares one request-level token across
+        // every per-rule batch. The parallel discharge path must not
+        // trip it — or the first unsound rule would cancel every later
+        // rule's batch, reporting sound rules (and, under
+        // include_buggy, would-be-UNEXPECTEDLY-PROVED variants) as
+        // resource-limited/"correctly rejected" by cancellation, with
+        // timing-dependent bytes landing in the exit-2 cache.
+        let both = format!("{UNSOUND_SUITE}\n{SUITE}");
+        let cfg = ExecConfig {
+            jobs: 4,
+            ..ExecConfig::default()
+        };
+        let cancel = Cancel::new();
+        let first = execute(&verify_op(&both), &cfg, &cancel);
+        assert_eq!(first.exit, EXIT_UNSOUND, "{}", first.output);
+        assert!(
+            !cancel.is_tripped(),
+            "verification must never trip the caller's request token"
+        );
+        assert!(
+            first.output.contains("const_prop"),
+            "the sound rule still reports: {}",
+            first.output
+        );
+        assert!(
+            !first.output.contains("resource-limited"),
+            "no batch was cancelled by its unsound predecessor: {}",
+            first.output
+        );
+        // Exit-2 payloads are cached and replayed, so they must be a
+        // pure function of the request — byte-identical on repeats.
+        for _ in 0..3 {
+            let again = execute(&verify_op(&both), &cfg, &Cancel::new());
+            assert_eq!(again.output, first.output);
+            assert_eq!(again.exit, first.exit);
+        }
     }
 
     #[test]

@@ -199,6 +199,20 @@ impl Parser {
         }
     }
 
+    /// Four hex digits of a `\u` escape (the `\u` itself already
+    /// consumed).
+    fn hex4(&mut self) -> Result<u32, ProtoError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(h) = self.peek().and_then(|c| c.to_digit(16)) else {
+                return err("bad \\u escape");
+            };
+            self.pos += 1;
+            code = code * 16 + h;
+        }
+        Ok(code)
+    }
+
     fn string(&mut self) -> Result<String, ProtoError> {
         if !self.eat('"') {
             return err("expected a string");
@@ -226,19 +240,40 @@ impl Parser {
                         'b' => out.push('\u{8}'),
                         'f' => out.push('\u{c}'),
                         'u' => {
-                            let mut code = 0u32;
-                            for _ in 0..4 {
-                                let Some(h) = self.peek().and_then(|c| c.to_digit(16)) else {
-                                    return err("bad \\u escape");
-                                };
-                                self.pos += 1;
-                                code = code * 16 + h;
+                            // Our emitter never writes \u escapes, but
+                            // standard encoders (e.g. Python's
+                            // json.dumps with ensure_ascii) express
+                            // non-BMP characters as UTF-16 surrogate
+                            // pairs — decode those; reject lone or
+                            // ill-ordered surrogates with a typed error
+                            // rather than silently corrupting text.
+                            let hi = self.hex4()?;
+                            match hi {
+                                0xD800..=0xDBFF => {
+                                    if !(self.eat('\\') && self.eat('u')) {
+                                        return err(format!(
+                                            "lone high surrogate \\u{hi:04X} (expected a \\uDC00-\\uDFFF continuation)"
+                                        ));
+                                    }
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return err(format!(
+                                            "bad surrogate pair \\u{hi:04X}\\u{lo:04X}"
+                                        ));
+                                    }
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    match char::from_u32(code) {
+                                        Some(c) => out.push(c),
+                                        // Unreachable (pairs always land in
+                                        // U+10000..=U+10FFFF), kept total.
+                                        None => return err("bad surrogate pair"),
+                                    }
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return err(format!("lone low surrogate \\u{hi:04X}"))
+                                }
+                                _ => out.push(char::from_u32(hi).unwrap_or('\u{fffd}')),
                             }
-                            // Surrogates are not produced by our
-                            // emitter; map them to the replacement
-                            // character rather than erroring so the
-                            // decoder stays total on foreign input.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
                         other => return err(format!("unknown escape `\\{other}`")),
                     }
@@ -674,6 +709,12 @@ mod tests {
             "{\"a\":\"unterminated",
             "{\"a\":\"bad\\q\"}",
             "{\"a\":\"bad\\u12\"}",
+            "{\"a\":\"\\uD83D\"}",          // lone high surrogate
+            "{\"a\":\"\\uDE00\"}",          // lone low surrogate
+            "{\"a\":\"\\uD83D\\n\"}",       // high surrogate, wrong escape next
+            "{\"a\":\"\\uD83Dx\"}",         // high surrogate, literal char next
+            "{\"a\":\"\\uD83D\\uD83D\"}",   // high followed by high
+            "{\"a\":\"\\uD83D\\u0041\"}",   // high followed by non-surrogate
             "{\"a\":1}trailing",
             "{\"a\":99999999999999999999999}",
             "\u{0}\u{1}\u{2}",
@@ -693,6 +734,22 @@ mod tests {
         assert_eq!(fields.get("u"), Some(&Value::Str("Aé".into())));
         let req = Request::decode("{\"v\":1,\"op\":\"ping\",\"someday\":true}").unwrap();
         assert_eq!(req.op, RequestOp::Ping);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_non_bmp_characters() {
+        // The standard ensure_ascii encoding of non-BMP text (e.g.
+        // Python json.dumps): UTF-16 surrogate pairs, case-insensitive
+        // hex. A program or suite containing such characters must
+        // survive the wire intact.
+        let fields = parse_object("{\"a\":\"\\uD83D\\uDE00\",\"b\":\"\\ud83d\\ude80!\"}").unwrap();
+        assert_eq!(fields.get("a"), Some(&Value::Str("\u{1F600}".into())));
+        assert_eq!(fields.get("b"), Some(&Value::Str("\u{1F680}!".into())));
+        // Lone surrogates are typed errors, not silent U+FFFD.
+        let e = parse_object("{\"a\":\"\\uD800\"}").unwrap_err();
+        assert!(e.to_string().contains("surrogate"), "{e}");
+        let e = parse_object("{\"a\":\"\\uDC00\"}").unwrap_err();
+        assert!(e.to_string().contains("surrogate"), "{e}");
     }
 
     #[test]

@@ -95,7 +95,8 @@ impl Default for ServeConfig {
 /// End-of-run accounting, returned by [`ServerHandle::join`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Requests decoded (all ops, including malformed-into-error).
+    /// Requests successfully decoded (all ops). Malformed lines are
+    /// not counted here — they show up in `errors` only.
     pub received: u64,
     /// Verify/optimize requests executed by a prover/engine run.
     pub fresh: u64,
@@ -190,13 +191,18 @@ impl Shared {
     }
 
     /// A cancel token for one execution, pre-tripped when the drain
-    /// deadline has already passed.
+    /// deadline has already passed. The flag check and the live-list
+    /// push happen under one lock hold so `cancel_in_flight` (which
+    /// sets the flag, then sweeps the list) can never interleave
+    /// between them — a token is either swept or born tripped, never
+    /// registered-but-missed and left to run uncancelled.
     fn register_cancel(&self) -> Cancel {
         let cancel = Cancel::new();
+        let mut live = self.lock_live();
         if self.hard_cancel.load(Ordering::SeqCst) {
             cancel.trip();
         } else {
-            self.lock_live().push(cancel.clone());
+            live.push(cancel.clone());
         }
         cancel
     }

@@ -45,8 +45,21 @@ use std::sync::{mpsc, Arc, Mutex};
 /// Cloning is cheap (an `Arc`); all clones observe the same flag. The
 /// underlying `Arc<AtomicBool>` is exposed so it can be threaded into
 /// budgets that predate this type (e.g. the prover's `Budget::cancel`).
+///
+/// Tokens form a one-way hierarchy via [`child`](Self::child):
+/// tripping a parent trips every (live) descendant, but tripping a
+/// child never touches its parent or siblings. That is how one
+/// caller-level token (say, a daemon drain deadline) fans out over many
+/// independent batches without a batch-internal fail-fast trip leaking
+/// across batch boundaries.
 #[derive(Debug, Clone, Default)]
-pub struct Cancel(Arc<AtomicBool>);
+pub struct Cancel(Arc<CancelInner>);
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: Arc<AtomicBool>,
+    children: Mutex<Vec<std::sync::Weak<CancelInner>>>,
+}
 
 impl Cancel {
     /// A fresh, untripped token.
@@ -56,22 +69,58 @@ impl Cancel {
 
     /// A token wrapping an existing flag.
     pub fn from_flag(flag: Arc<AtomicBool>) -> Self {
-        Cancel(flag)
+        Cancel(Arc::new(CancelInner {
+            flag,
+            children: Mutex::new(Vec::new()),
+        }))
     }
 
-    /// Trips the token: every holder observes it at their next check.
+    /// Trips the token: every holder — and every live child token —
+    /// observes it at their next check.
     pub fn trip(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.0.flag.store(true, Ordering::Relaxed);
+        let mut children = self
+            .0
+            .children
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        children.retain(|weak| match weak.upgrade() {
+            Some(child) => {
+                Cancel(child).trip();
+                true
+            }
+            None => false, // the child's batch finished: prune
+        });
     }
 
     /// Whether the token has been tripped.
     pub fn is_tripped(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        self.0.flag.load(Ordering::Relaxed)
     }
 
     /// The underlying shared flag.
     pub fn flag(&self) -> Arc<AtomicBool> {
-        self.0.clone()
+        self.0.flag.clone()
+    }
+
+    /// A linked child token with its **own** flag: tripping `self`
+    /// trips the child (a child of an already-tripped token is born
+    /// tripped), but tripping the child leaves `self` — and any sibling
+    /// children — untouched. The link is weak; a dropped child costs
+    /// nothing.
+    pub fn child(&self) -> Cancel {
+        let child = Cancel::new();
+        self.0
+            .children
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Arc::downgrade(&child.0));
+        // Registered first, checked second: a concurrent `trip` either
+        // sees the registration or set the flag before this check.
+        if self.is_tripped() {
+            child.trip();
+        }
+        child
     }
 }
 
@@ -456,6 +505,43 @@ mod tests {
                 TaskResult::Panicked(_) => None,
             }
         }
+    }
+
+    #[test]
+    fn child_tokens_inherit_trips_downward_only() {
+        let parent = Cancel::new();
+        let a = parent.child();
+        let b = parent.child();
+        // Child trips stay local: parent and siblings are untouched.
+        a.trip();
+        assert!(a.is_tripped());
+        assert!(!parent.is_tripped(), "a child trip must not reach the parent");
+        assert!(!b.is_tripped(), "a child trip must not reach a sibling");
+        // Parent trips fan out to every live descendant.
+        let grandchild = b.child();
+        parent.trip();
+        assert!(b.is_tripped());
+        assert!(grandchild.is_tripped(), "trips propagate transitively");
+        // A child of an already-tripped token is born tripped.
+        assert!(parent.child().is_tripped());
+    }
+
+    #[test]
+    fn dropped_children_are_pruned_and_flags_stay_live() {
+        let parent = Cancel::new();
+        for _ in 0..64 {
+            drop(parent.child());
+        }
+        // The solver holds only the child's flag; a parent trip must
+        // still reach it while the flag's batch is in flight.
+        let child = parent.child();
+        let flag = child.flag();
+        drop(child);
+        parent.trip(); // prunes dead weak links, must not panic
+        assert!(parent.is_tripped());
+        // The dropped child's raw flag is no longer linked — that is
+        // fine: a batch that ended has nothing left to cancel.
+        let _ = flag;
     }
 
     #[test]

@@ -256,6 +256,7 @@ pub struct Verifier {
     pub(crate) jobs: usize,
     pub(crate) bank_mode: BankMode,
     pub(crate) cancel: Option<Cancel>,
+    pub(crate) fail_fast: bool,
 }
 
 impl Verifier {
@@ -270,6 +271,7 @@ impl Verifier {
             jobs: 1,
             bank_mode: BankMode::default(),
             cancel: None,
+            fail_fast: true,
         }
     }
 
@@ -305,12 +307,27 @@ impl Verifier {
     /// thread and in-flight discharges stop at their next budget check,
     /// reporting as **resource-limited** (never proved, never unsound)
     /// — exactly how a `cobalt serve` drain deadline budget-cancels
-    /// in-flight requests. In parallel mode the token doubles as the
-    /// pool's fail-fast flag, so an unsound obligation also trips it;
-    /// callers sharing one token across independent batches should
-    /// hand each batch its own.
+    /// in-flight requests. The token is strictly an *input*: the
+    /// checker observes it (each parallel batch through a linked
+    /// [`Cancel::child`]) but never trips it, so one token may be
+    /// shared across any number of independent batches without a
+    /// batch-internal fail-fast leaking between them.
     pub fn with_cancel(mut self, cancel: Cancel) -> Self {
         self.cancel = Some(cancel);
+        self
+    }
+
+    /// Controls parallel fail-fast (default `true`): whether the first
+    /// outcome that is evidence of unsoundness trips the batch's
+    /// internal cancel so siblings stand down early. Disabling it makes
+    /// every obligation run to completion regardless of siblings, so an
+    /// *unsound* report's outcome set — not just its verdict — is a
+    /// deterministic function of the obligations, at any job count.
+    /// `cobalt serve` relies on that to cache exit-2 payloads byte-for-
+    /// byte; the one-shot CLI keeps the fast default. External
+    /// cancellation ([`with_cancel`](Self::with_cancel)) is unaffected.
+    pub fn with_fail_fast(mut self, fail_fast: bool) -> Self {
+        self.fail_fast = fail_fast;
         self
     }
 
@@ -437,11 +454,12 @@ impl Verifier {
     /// The parallel contract: outcomes appear in obligation order
     /// regardless of completion order, each obligation keeps its full
     /// [`RetryPolicy`] escalation, the report deadline fans out through
-    /// every worker's prover budget, and the first outcome that is
-    /// evidence of unsoundness (open branch or prover panic — not a
-    /// mere resource limit) trips a shared cancel flag so siblings
-    /// stand down; cancelled obligations report as resource-limited,
-    /// never as proved.
+    /// every worker's prover budget, and (unless
+    /// [`with_fail_fast(false)`](Self::with_fail_fast)) the first
+    /// outcome that is evidence of unsoundness (open branch or prover
+    /// panic — not a mere resource limit) trips a batch-internal cancel
+    /// flag so siblings stand down; cancelled obligations report as
+    /// resource-limited, never as proved.
     pub fn discharge_all(&self, name: String, prepared: Vec<Prepared>) -> Report {
         let start = Instant::now();
         let report_deadline = self
@@ -492,10 +510,14 @@ impl Verifier {
             .into_iter()
             .map(|(p, tier)| (Some(p), tier))
             .collect();
-        // The pool's fail-fast flag; an externally installed token is
-        // reused so a caller-side trip (e.g. a daemon drain deadline)
-        // stands the whole batch down.
-        let cancel = self.cancel.clone().unwrap_or_default();
+        // The pool's fail-fast flag. An externally installed token is
+        // observed through a linked child, never reused directly: a
+        // caller-side trip (e.g. a daemon drain deadline) propagates in
+        // and stands the whole batch down, but a fail-fast trip from an
+        // unsound outcome in *this* batch stays in the child — the
+        // caller's token is never written, so independent batches
+        // sharing one external token cannot cancel each other.
+        let cancel = self.cancel.as_ref().map_or_else(Cancel::new, Cancel::child);
         let mut outcomes: Vec<ObligationOutcome> = Vec::with_capacity(slots.len());
         pool::run_ordered(
             self.jobs,
@@ -512,10 +534,11 @@ impl Verifier {
                 p.solver.install_cancel(cancel.flag());
                 let outcome =
                     self.discharge_from(p, report_deadline, *start_tier, Some(cancel));
-                if !outcome.proved && !outcome.resource_limited {
+                if self.fail_fast && !outcome.proved && !outcome.resource_limited {
                     // Open branch or prover panic: evidence of
                     // unsoundness. Fail fast — siblings stand down at
-                    // their next budget check.
+                    // their next budget check. This trips the batch's
+                    // own child token only, never the caller's.
                     cancel.trip();
                 }
                 Some(outcome)

@@ -157,14 +157,16 @@ const USAGE: &str = "usage:
       scripts. --timeout/--max-steps bound each request exactly as the
       one-shot commands do
   cobalt client <verify [suite.cob]|optimize <prog.il>|ping|stats|shutdown>
-                [--addr A|--port-file P] [--retries N] [--include-buggy]
-                [--passes a,b|all] [--rounds N]
+                [--addr A|--port-file P] [--retries N] [--io-timeout SECS]
+                [--include-buggy] [--passes a,b|all] [--rounds N]
       send one request to a running daemon and print its output.
       Connection failures and shed responses retry with capped
       exponential backoff (--retries, default 5), honoring the daemon's
-      retry_after_ms hint. exit codes mirror the one-shot commands:
-      0 ok/proved, 2 unsound, 3 resource-limited or shed after
-      retries, 1 other errors
+      retry_after_ms hint. --io-timeout bounds this client's socket
+      reads/writes (default 600); request budgets are the daemon's
+      --timeout, so passing --timeout here is a typed error. exit codes
+      mirror the one-shot commands: 0 ok/proved, 2 unsound,
+      3 resource-limited or shed after retries, 1 other errors
 ";
 
 /// Entry point, factored for testing.
@@ -211,8 +213,8 @@ fn positional(args: &[String]) -> Vec<&str> {
                 a.as_str(),
                 "--arg" | "--passes" | "--rounds" | "--tries" | "--timeout" | "--max-splits"
                     | "--max-steps" | "--jobs" | "--deny" | "--journal" | "--addr"
-                    | "--port-file" | "--queue" | "--retries" | "--read-timeout-ms"
-                    | "--write-timeout-ms" | "--drain-ms"
+                    | "--port-file" | "--queue" | "--retries" | "--io-timeout"
+                    | "--read-timeout-ms" | "--write-timeout-ms" | "--drain-ms"
             ) && i + 1 < args.len();
             continue;
         }
@@ -880,6 +882,32 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
         )));
     };
     let common = CommonFlags::parse(args, "client")?;
+    // `--timeout` is the *daemon-side* request budget everywhere else
+    // (serve docs: it bounds requests exactly as the one-shot commands
+    // do). Reinterpreting it as this client's socket deadline would
+    // make a habitual `--timeout 5` abandon the read mid-exchange
+    // while the daemon keeps executing — reject it and point at the
+    // distinct flag instead.
+    if common.timeout.is_some() {
+        return Err(CliError::general(
+            "client: --timeout is a daemon-side request budget (set it on `cobalt serve`); \
+             use --io-timeout SECS to bound this client's socket I/O",
+        ));
+    }
+    let io_timeout = match flag_value(args, "--io-timeout") {
+        None => Duration::from_secs(600),
+        Some(secs) => {
+            let secs: f64 = secs
+                .parse()
+                .map_err(|e| CliError::general(format!("--io-timeout: {e}")))?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(CliError::general(format!(
+                    "--io-timeout: expected a positive number of seconds, got `{secs}`"
+                )));
+            }
+            Duration::from_secs_f64(secs)
+        }
+    };
     let op = match op_name {
         "ping" => RequestOp::Ping,
         "stats" => RequestOp::Stats,
@@ -916,7 +944,7 @@ fn cmd_client(args: &[String]) -> Result<String, CliError> {
     };
     let cfg = ClientConfig {
         addr,
-        io_timeout: common.timeout.unwrap_or(Duration::from_secs(600)),
+        io_timeout,
         retries: flag_value(args, "--retries")
             .unwrap_or("5")
             .parse()
@@ -1586,6 +1614,26 @@ proc main(x) {
         assert!(err.msg.contains("unknown operation"), "{}", err.msg);
         let err = run_cli(&["client".into(), "optimize".into()]).unwrap_err();
         assert!(err.msg.contains("expected one program file"), "{}", err.msg);
+        // --timeout is the daemon-side budget; on the client it is a
+        // typed error, not a silently reinterpreted socket deadline.
+        let err = run_cli(&[
+            "client".into(),
+            "ping".into(),
+            "--timeout".into(),
+            "5".into(),
+        ])
+        .unwrap_err();
+        assert!(err.msg.contains("--io-timeout"), "{}", err.msg);
+        for bad in ["abc", "0", "-1"] {
+            let err = run_cli(&[
+                "client".into(),
+                "ping".into(),
+                "--io-timeout".into(),
+                bad.into(),
+            ])
+            .unwrap_err();
+            assert!(err.msg.contains("--io-timeout"), "{}", err.msg);
+        }
     }
 
     #[test]
